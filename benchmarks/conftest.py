@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper from the same
+scored dataset.  The dataset scale is selected with the ``REPRO_SCALE``
+environment variable (``tiny`` by default so a full benchmark run finishes
+in minutes; use ``small`` / ``medium`` / ``paper`` for larger runs).  The
+underlying audio datasets and similarity scores are cached on disk, so only
+the first benchmark run pays the generation cost.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import get_scale
+from repro.datasets.builder import load_standard_bundle
+from repro.datasets.scores import load_scored_dataset
+
+
+def _scale():
+    return get_scale(os.environ.get("REPRO_SCALE", "tiny"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def scored_dataset(scale):
+    return load_scored_dataset(scale)
+
+
+@pytest.fixture(scope="session")
+def bundle(scale):
+    return load_standard_bundle(scale)
+
+
+def report_table(table) -> None:
+    """Print an experiment table so benchmark logs double as result logs."""
+    print()
+    print(table.to_markdown())

@@ -1,0 +1,24 @@
+"""Benchmark E-ABL: ablations — weak (Kaldi) auxiliary and baselines."""
+
+from conftest import report_table
+
+from repro.experiments.ablations import run_baseline_comparison, run_kaldi_auxiliary_ablation
+
+
+def test_kaldi_auxiliary_ablation(benchmark, bundle, scored_dataset):
+    table = benchmark.pedantic(run_kaldi_auxiliary_ablation,
+                               args=(bundle, scored_dataset),
+                               rounds=1, iterations=1)
+    report_table(table)
+    rows = {row["system"]: row for row in table.rows}
+    # An inaccurate auxiliary (Kaldi) yields worse detection than DS1.
+    assert rows["DS0+{KAL}"]["accuracy"] <= rows["DS0+{DS1}"]["accuracy"] + 0.05
+
+
+def test_baseline_comparison(benchmark, bundle):
+    table = benchmark.pedantic(run_baseline_comparison, args=(bundle,),
+                               rounds=1, iterations=1)
+    report_table(table)
+    assert len(table.rows) == 3
+    for row in table.rows:
+        assert 0.0 <= row["accuracy"] <= 1.0

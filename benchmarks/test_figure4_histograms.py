@@ -1,0 +1,15 @@
+"""Benchmark E-F4: Figure 4 — similarity score histograms."""
+
+from repro.experiments.feasibility import run_figure4_histograms
+
+
+def test_figure4_histograms(benchmark, scored_dataset):
+    results = benchmark(run_figure4_histograms, scored_dataset)
+    assert len(results) == 3
+    for result in results:
+        print(f"\n{result.system}: benign mean={result.benign_scores.mean():.3f} "
+              f"AE mean={result.adversarial_scores.mean():.3f} "
+              f"overlap={result.overlap_fraction:.3f}")
+        # Benign and adversarial scores form (almost) disjoint clusters.
+        assert result.benign_scores.mean() > result.adversarial_scores.mean()
+        assert result.overlap_fraction < 0.8

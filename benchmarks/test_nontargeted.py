@@ -1,0 +1,13 @@
+"""Benchmark E-NT: Section V-J — non-targeted AE detection."""
+
+from conftest import report_table
+
+from repro.experiments.nontargeted import run_nontargeted_detection
+
+
+def test_nontargeted_detection(benchmark, scored_dataset):
+    table = benchmark(run_nontargeted_detection, scored_dataset)
+    report_table(table)
+    assert len(table.rows) == 3
+    for row in table.rows:
+        assert row["defense_rate"] >= 0.5

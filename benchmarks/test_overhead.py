@@ -1,0 +1,18 @@
+"""Benchmark E-OVH: Section V-I — detection time overhead."""
+
+from conftest import report_table
+
+from repro.experiments.overhead import run_overhead_measurement
+
+
+def test_overhead_measurement(benchmark, bundle, scored_dataset):
+    table = benchmark.pedantic(run_overhead_measurement, args=(bundle, scored_dataset),
+                               rounds=1, iterations=1)
+    report_table(table)
+    components = {row["component"]: row for row in table.rows}
+    baseline = components["target recognition (baseline)"]["mean_seconds"]
+    similarity = components["similarity calculation"]["mean_seconds"]
+    classification = components["classification"]["mean_seconds"]
+    # Similarity and classification are negligible next to recognition.
+    assert similarity < 0.1 * baseline
+    assert classification < 0.1 * baseline

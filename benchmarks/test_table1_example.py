@@ -1,0 +1,18 @@
+"""Benchmark E-T1: Table I — one AE transcribed by every ASR."""
+
+from conftest import report_table
+
+from repro.experiments.feasibility import run_table1_example
+
+
+def test_table1_example(benchmark):
+    table = benchmark.pedantic(run_table1_example, rounds=1, iterations=1)
+    report_table(table)
+    roles = {row["role"] for row in table.rows}
+    assert roles == {"target", "auxiliary"}
+    # The target model transcribes the attacker's command...
+    assert table.rows[0]["attack_success"]
+    # ...and no auxiliary transcription equals the command.
+    command = table.rows[0]["command"]
+    for row in table.rows[1:]:
+        assert row["transcription"] != command

@@ -1,0 +1,14 @@
+"""Benchmark E-T2: Table II — dataset construction."""
+
+from conftest import report_table
+
+from repro.experiments.feasibility import run_table2_dataset_summary
+
+
+def test_table2_dataset_summary(benchmark, scored_dataset, scale):
+    table = benchmark(run_table2_dataset_summary, scored_dataset)
+    report_table(table)
+    sizes = {row["dataset"]: row["samples"] for row in table.rows}
+    assert sizes["Benign"] == scale.n_benign
+    assert sizes["White-box AEs"] == scale.n_whitebox
+    assert sizes["Black-box AEs"] == scale.n_blackbox

@@ -1,0 +1,22 @@
+"""Benchmark E-T3: Table III — similarity calculation methods."""
+
+import numpy as np
+from conftest import report_table
+
+from repro.experiments.similarity_methods import best_method, run_table3_similarity_methods
+
+
+def test_table3_similarity_methods(benchmark, scored_dataset):
+    table = benchmark.pedantic(run_table3_similarity_methods, args=(scored_dataset,),
+                               rounds=1, iterations=1)
+    report_table(table)
+    assert len(table.rows) == 24
+    accuracies = [row["accuracy"] for row in table.rows]
+    assert np.mean(accuracies) > 0.7
+    winner = best_method(table)
+    print(f"\nbest method: {winner}")
+    # Phonetic-encoding variants should be competitive with the raw metrics
+    # (the paper selects PE_JaroWinkler as the best combination).
+    pe_mean = np.mean([r["accuracy"] for r in table.rows if r["method"].startswith("PE_")])
+    raw_mean = np.mean([r["accuracy"] for r in table.rows if not r["method"].startswith("PE_")])
+    assert pe_mean >= raw_mean - 0.05

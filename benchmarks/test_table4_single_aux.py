@@ -1,0 +1,16 @@
+"""Benchmark E-T4: Table IV — single-auxiliary-model systems."""
+
+from conftest import report_table
+
+from repro.experiments.single_aux import run_table4_single_auxiliary
+
+
+def test_table4_single_auxiliary(benchmark, scored_dataset):
+    table = benchmark.pedantic(run_table4_single_auxiliary, args=(scored_dataset,),
+                               rounds=1, iterations=1)
+    report_table(table)
+    assert len(table.rows) == 9
+    for row in table.rows:
+        assert row["accuracy_mean"] > 0.6
+    best = max(row["accuracy_mean"] for row in table.rows)
+    assert best > 0.8

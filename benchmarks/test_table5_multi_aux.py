@@ -1,0 +1,21 @@
+"""Benchmark E-T5: Table V — multi-auxiliary-model systems."""
+
+from conftest import report_table
+
+from repro.experiments.multi_aux import run_table5_multi_auxiliary
+from repro.experiments.single_aux import run_table4_single_auxiliary
+
+
+def test_table5_multi_auxiliary(benchmark, scored_dataset):
+    table = benchmark.pedantic(run_table5_multi_auxiliary, args=(scored_dataset,),
+                               rounds=1, iterations=1)
+    report_table(table)
+    assert len(table.rows) == 12
+
+    # Multi-auxiliary systems should be at least as accurate as the best
+    # single-auxiliary system (the paper's headline observation).
+    single = run_table4_single_auxiliary(scored_dataset)
+    best_single = max(row["accuracy_mean"] for row in single.rows)
+    best_multi = max(row["accuracy_mean"] for row in table.rows)
+    print(f"\nbest single-aux accuracy={best_single:.4f}, best multi-aux={best_multi:.4f}")
+    assert best_multi >= best_single - 0.02

@@ -1,0 +1,19 @@
+"""Benchmark E-T6: Table VI — impact of the number of auxiliary ASRs."""
+
+import numpy as np
+from conftest import report_table
+
+from repro.experiments.multi_aux import run_table6_asr_count_impact
+
+
+def test_table6_asr_count_impact(benchmark, scored_dataset):
+    table = benchmark.pedantic(run_table6_asr_count_impact, args=(scored_dataset,),
+                               rounds=1, iterations=1)
+    report_table(table)
+    assert len(table.rows) == 7
+    by_count = {}
+    for row in table.rows:
+        by_count.setdefault(row["n_auxiliaries"], []).append(row["accuracy"])
+    # More auxiliaries should not hurt accuracy on average (Table VI's point:
+    # FPR/FNR tend to decline as auxiliaries are added).
+    assert np.mean(by_count[3]) >= np.mean(by_count[1]) - 0.02

@@ -1,0 +1,21 @@
+"""Benchmark E-T7 + E-F5: Table VII and Figure 5 — unseen-attack detection."""
+
+from conftest import report_table
+
+from repro.experiments.unseen_attacks import run_figure5_roc, run_table7_threshold_detector
+
+
+def test_table7_threshold_detector(benchmark, scored_dataset):
+    table = benchmark(run_table7_threshold_detector, scored_dataset)
+    report_table(table)
+    assert len(table.rows) == 3
+    for row in table.rows:
+        assert row["fpr"] <= 0.05 + 1e-9
+        assert row["defense_rate"] >= 0.5
+
+
+def test_figure5_roc(benchmark, scored_dataset):
+    curves = benchmark(run_figure5_roc, scored_dataset)
+    for curve in curves:
+        print(f"\n{curve.system}: AUC={curve.auc:.4f}")
+        assert curve.auc > 0.7

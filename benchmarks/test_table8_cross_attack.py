@@ -1,0 +1,16 @@
+"""Benchmark E-T8: Table VIII — cross-attack generalisation."""
+
+import numpy as np
+from conftest import report_table
+
+from repro.experiments.unseen_attacks import run_table8_cross_attack
+
+
+def test_table8_cross_attack(benchmark, scored_dataset):
+    table = benchmark.pedantic(run_table8_cross_attack, args=(scored_dataset,),
+                               rounds=1, iterations=1)
+    report_table(table)
+    assert len(table.rows) == 4
+    rates = ([row["defense_rate_blackbox"] for row in table.rows]
+             + [row["defense_rate_whitebox"] for row in table.rows])
+    assert np.mean(rates) > 0.6

@@ -1,0 +1,53 @@
+"""Benchmarks E-T9..E-T12: Tables IX-XII — hypothetical MAE AEs."""
+
+import numpy as np
+from conftest import report_table
+
+from repro.experiments.mae_aes import (
+    run_table9_mae_types,
+    run_table10_mae_accuracy,
+    run_table11_cross_type_defense,
+    run_table12_comprehensive,
+)
+
+
+def test_table9_mae_types(benchmark, scored_dataset, scale):
+    mae_sets = benchmark(run_table9_mae_types, scored_dataset, scale.n_mae_per_type)
+    assert len(mae_sets) == 6
+    for name, features in mae_sets.items():
+        print(f"\n{name}: {features.shape[0]} synthetic MAE AEs")
+        assert features.shape == (scale.n_mae_per_type, 3)
+
+
+def test_table10_mae_accuracy(benchmark, scored_dataset, scale):
+    table = benchmark.pedantic(run_table10_mae_accuracy, args=(scored_dataset,),
+                               kwargs={"n_per_type": scale.n_mae_per_type},
+                               rounds=1, iterations=1)
+    report_table(table)
+    assert len(table.rows) == 6
+    assert all(row["accuracy"] > 0.6 for row in table.rows)
+
+
+def test_table11_cross_type_defense(benchmark, scored_dataset, scale):
+    table = benchmark.pedantic(run_table11_cross_type_defense, args=(scored_dataset,),
+                               kwargs={"n_per_type": scale.n_mae_per_type},
+                               rounds=1, iterations=1)
+    report_table(table)
+    assert len(table.rows) == 7
+    # Training on a superset type defends its subset types (paper finding 2):
+    type4 = next(row for row in table.rows if row["trained_on"] == "Type-4")
+    assert type4["Type-1"] > 0.8
+    type5 = next(row for row in table.rows if row["trained_on"] == "Type-5")
+    assert type5["Type-1"] > 0.8
+
+
+def test_table12_comprehensive(benchmark, scored_dataset, scale):
+    table = benchmark.pedantic(run_table12_comprehensive, args=(scored_dataset,),
+                               kwargs={"n_per_type": scale.n_mae_per_type},
+                               rounds=1, iterations=1)
+    report_table(table)
+    rates = [row["defense_rate"] for row in table.rows
+             if not np.isnan(row["defense_rate"])]
+    # The comprehensive system defends original AEs and Types 1-3.
+    assert len(rates) == 4
+    assert min(rates) > 0.8

@@ -1,0 +1,24 @@
+"""Benchmark E-TR: Section III — transferability study."""
+
+from conftest import report_table
+
+from repro.experiments.transferability import (
+    run_recursive_attack_probe,
+    run_transferability_study,
+)
+
+
+def test_transferability_matrix(benchmark, bundle, scale):
+    table = benchmark(run_transferability_study, bundle, scale.n_whitebox)
+    report_table(table)
+    rates = {row["asr"]: row["transfer_rate"] for row in table.rows}
+    assert rates["DS0"] == 1.0
+    for name in ("DS1", "GCS", "AT"):
+        assert rates[name] <= 0.25
+
+
+def test_recursive_attack_does_not_transfer(benchmark):
+    table = benchmark.pedantic(run_recursive_attack_probe, rounds=1, iterations=1)
+    report_table(table)
+    transferable = next(row for row in table.rows if row["stage"] == "transferable?")
+    assert not transferable["success"]

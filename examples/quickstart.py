@@ -1,0 +1,48 @@
+"""Quickstart: build an MVP-EARS detector and classify one benign sample
+and one adversarial example.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MVPEarsDetector, WhiteBoxCarliniAttack, build_asr
+from repro.asr.registry import get_shared_lexicon
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.datasets.scores import load_scored_dataset
+
+
+def main() -> None:
+    # 1. The ASR suite: DeepSpeech v0.1.0 is the target, the other three are
+    #    the auxiliary models (Figure 3 of the paper).
+    target = build_asr("DS0")
+    auxiliaries = [build_asr(name) for name in ("DS1", "GCS", "AT")]
+
+    # 2. Train the detector on the cached tiny evaluation dataset.
+    dataset = load_scored_dataset("tiny")
+    detector = MVPEarsDetector(target, auxiliaries, classifier="SVM")
+    features, labels = dataset.features_for(("DS1", "GCS", "AT"))
+    detector.fit_features(features, labels)
+
+    # 3. Craft one adversarial example and synthesise one benign sample.
+    synthesizer = SpeechSynthesizer(lexicon=get_shared_lexicon(), seed=99)
+    benign = synthesizer.synthesize("the captain studied the map for a long time")
+    attack = WhiteBoxCarliniAttack(target)
+    adversarial = attack.run(
+        synthesizer.synthesize("a gentle wind moved the leaves of the trees"),
+        "open the front door").adversarial
+
+    # 4. Detect.
+    for name, audio in (("benign", benign), ("adversarial", adversarial)):
+        result = detector.detect(audio)
+        print(f"--- {name} sample ---")
+        print(f"  target ASR heard : {result.target_transcription!r}")
+        for aux_name, text in result.auxiliary_transcriptions.items():
+            print(f"  {aux_name:>3} heard        : {text!r}")
+        print(f"  similarity scores: {result.scores.round(3)}")
+        print(f"  verdict          : {'ADVERSARIAL' if result.is_adversarial else 'benign'}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Scenario: a smart-home voice assistant protected by MVP-EARS.
+
+The assistant receives a stream of voice commands.  Most are legitimate,
+but an attacker has planted audio adversarial examples (crafted against the
+assistant's DeepSpeech model) in, e.g., a podcast the user plays.  The
+detector screens every audio before the assistant acts on it.
+
+Run with::
+
+    python examples/smart_home_assistant.py
+"""
+
+import numpy as np
+
+from repro import MVPEarsDetector, WhiteBoxCarliniAttack, build_asr
+from repro.asr.registry import get_shared_lexicon
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.datasets.scores import load_scored_dataset
+
+LEGITIMATE_COMMANDS = [
+    "turn off all the lights",
+    "the weather is nice today",
+    "please call me later tonight",
+    "turn the volume to maximum",
+]
+
+MALICIOUS_COMMANDS = [
+    "open the front door",
+    "turn off the security camera",
+]
+
+HOST_SENTENCES = [
+    "the old man walked slowly along the river",
+    "the sound of the bell echoed through the valley",
+]
+
+
+def main() -> None:
+    target = build_asr("DS0")
+    auxiliaries = [build_asr(name) for name in ("DS1", "GCS", "AT")]
+    detector = MVPEarsDetector(target, auxiliaries, classifier="SVM")
+    dataset = load_scored_dataset("tiny")
+    features, labels = dataset.features_for(("DS1", "GCS", "AT"))
+    detector.fit_features(features, labels)
+
+    synthesizer = SpeechSynthesizer(lexicon=get_shared_lexicon(), seed=7)
+    attack = WhiteBoxCarliniAttack(target)
+    rng = np.random.default_rng(0)
+
+    # Build the incoming audio stream: legitimate commands plus hidden AEs.
+    stream = []
+    for command in LEGITIMATE_COMMANDS:
+        stream.append(("user", synthesizer.synthesize(command)))
+    for command, host in zip(MALICIOUS_COMMANDS, HOST_SENTENCES):
+        result = attack.run(synthesizer.synthesize(host), command)
+        stream.append(("attacker", result.adversarial))
+    rng.shuffle(stream)
+
+    accepted, blocked = 0, 0
+    for source, audio in stream:
+        result = detector.detect(audio)
+        action = "BLOCKED " if result.is_adversarial else "ACCEPTED"
+        if result.is_adversarial:
+            blocked += 1
+        else:
+            accepted += 1
+        print(f"[{action}] ({source:8}) assistant heard: "
+              f"{result.target_transcription!r} | min score "
+              f"{result.scores.min():.2f}")
+    print(f"\naccepted {accepted} commands, blocked {blocked} suspicious inputs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs (which build an editable wheel) fail.  Keeping a ``setup.py`` lets
+``pip install -e . --no-build-isolation`` fall back to the legacy develop
+install path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Amazon Transcribe simulator.
+
+No public information exists about the internals of the real service; the
+simulator therefore uses yet another front end (LPC spectral envelopes) and
+its own projection seed, making it the most "different" auxiliary model in
+the suite — which is all the detection approach needs from it.
+"""
+
+from __future__ import annotations
+
+from repro.asr.simulated import SimulatedASR
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.dsp.features import LpcFeatureExtractor
+from repro.text.language_model import BigramLanguageModel
+from repro.text.lexicon import Lexicon
+
+
+class AmazonTranscribe(SimulatedASR):
+    """Simulated Amazon Transcribe ("AT")."""
+
+    def __init__(self, lexicon: Lexicon, language_model: BigramLanguageModel,
+                 synthesizer: SpeechSynthesizer, sample_rate: int = 16_000):
+        extractor = LpcFeatureExtractor(sample_rate=sample_rate,
+                                        frame_length=480, hop_length=200,
+                                        order=16, style="cepstrum")
+        super().__init__(
+            name="Amazon Transcribe", short_name="AT",
+            feature_extractor=extractor,
+            lexicon=lexicon, language_model=language_model,
+            synthesizer=synthesizer, seed=3030, template_noise=0.025,
+            temperature=4.5, decode_style="greedy", min_phoneme_run=2,
+            is_cloud=True, cloud_latency_seconds=0.6,
+        )

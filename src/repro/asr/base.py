@@ -1,0 +1,77 @@
+"""Common interface of all ASR simulators."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.audio.waveform import Waveform
+from repro.text.phonemes import Phoneme
+
+
+@dataclass(frozen=True)
+class Transcription:
+    """Result of transcribing one audio clip.
+
+    Attributes:
+        text: the recognised sentence (normalised, lower-case).
+        phonemes: the collapsed phoneme sequence produced by the acoustic
+            stage (silence removed).
+        frame_labels: per-frame phoneme labels before collapsing.
+        asr_name: name of the system that produced the result.
+        elapsed_seconds: wall-clock recognition time.
+        extra: decoder diagnostics (segment boundaries, scores, ...).
+    """
+
+    text: str
+    phonemes: tuple[Phoneme, ...] = ()
+    frame_labels: tuple[Phoneme, ...] = ()
+    asr_name: str = ""
+    elapsed_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.text
+
+
+class ASRSystem(ABC):
+    """Abstract speech-to-text system.
+
+    Concrete simulators implement :meth:`_transcribe_samples`; the public
+    :meth:`transcribe` adds timing and input validation so every system
+    reports comparable latency numbers for the overhead experiment
+    (Section V-I of the paper).
+    """
+
+    #: Human-readable system name, e.g. ``"DeepSpeech v0.1.0"``.
+    name: str = "asr"
+    #: Short identifier used in experiment tables, e.g. ``"DS0"``.
+    short_name: str = "ASR"
+    #: True for cloud-style systems (Google / Amazon simulators).
+    is_cloud: bool = False
+
+    @abstractmethod
+    def _transcribe_samples(self, samples: np.ndarray, sample_rate: int) -> Transcription:
+        """Transcribe raw samples (implemented by subclasses)."""
+
+    def transcribe(self, audio: Waveform) -> Transcription:
+        """Transcribe ``audio`` and attach timing information."""
+        if not isinstance(audio, Waveform):
+            raise TypeError("transcribe expects a Waveform")
+        start = time.perf_counter()
+        result = self._transcribe_samples(audio.samples, audio.sample_rate)
+        elapsed = time.perf_counter() - start
+        return Transcription(text=result.text, phonemes=result.phonemes,
+                             frame_labels=result.frame_labels,
+                             asr_name=self.name, elapsed_seconds=elapsed,
+                             extra=result.extra)
+
+    def transcribe_batch(self, audios: list[Waveform]) -> list[Transcription]:
+        """Transcribe a list of audio clips."""
+        return [self.transcribe(audio) for audio in audios]
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,248 @@
+"""Phoneme-sequence decoding and word generation.
+
+Implements the "phoneme assembling" and "language generation" stages of the
+ASR pipeline (Figure 2 of the paper):
+
+* frame-label decoders (greedy CTC-style collapse, temporally smoothed
+  argmax, and a Viterbi decoder with self-loop transitions),
+* a :class:`WordDecoder` that segments the collapsed phoneme sequence at
+  silences and maps each segment to the closest vocabulary word using the
+  pronunciation lexicon and a bigram language model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.language_model import BigramLanguageModel
+from repro.text.lexicon import Lexicon
+from repro.text.metrics import edit_distance
+from repro.text.phonemes import PHONEMES, SILENCE, Phoneme
+
+# ----------------------------------------------------------- frame decoders
+
+
+def greedy_frame_labels(log_posteriors: np.ndarray) -> list[Phoneme]:
+    """Most likely phoneme per frame (CTC-style greedy path)."""
+    log_posteriors = np.asarray(log_posteriors)
+    if log_posteriors.ndim != 2 or log_posteriors.shape[1] != len(PHONEMES):
+        raise ValueError("log_posteriors must have shape (n_frames, n_phonemes)")
+    return [PHONEMES[i] for i in log_posteriors.argmax(axis=1)]
+
+
+def smoothed_frame_labels(log_posteriors: np.ndarray, window: int = 2) -> list[Phoneme]:
+    """Argmax after temporal smoothing of the posteriors.
+
+    Stands in for the recurrent context of an LSTM acoustic model: each
+    frame's score is averaged with its neighbours before the decision.
+    """
+    log_posteriors = np.asarray(log_posteriors)
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    n_frames = log_posteriors.shape[0]
+    if n_frames == 0:
+        return []
+    kernel = np.ones(2 * window + 1)
+    kernel /= kernel.sum()
+    padded = np.pad(log_posteriors, ((window, window), (0, 0)), mode="edge")
+    smoothed = np.empty_like(log_posteriors)
+    for k in range(log_posteriors.shape[1]):
+        smoothed[:, k] = np.convolve(padded[:, k], kernel, mode="valid")
+    return [PHONEMES[i] for i in smoothed.argmax(axis=1)]
+
+
+def viterbi_frame_labels(log_posteriors: np.ndarray, self_loop_logprob: float = -0.1,
+                         switch_logprob: float = -2.5,
+                         frame_subsampling_factor: int = 1) -> list[Phoneme]:
+    """HMM-style decoding with a uniform transition model (Kaldi flavour).
+
+    Args:
+        log_posteriors: frame log posteriors.
+        self_loop_logprob: log probability of staying in the same phoneme.
+        switch_logprob: log probability of switching to any other phoneme.
+        frame_subsampling_factor: decode only every ``k``-th frame, mirroring
+            Kaldi's ``--frame-subsampling-factor`` option that Section III of
+            the paper perturbs to create a model variant.
+    """
+    log_posteriors = np.asarray(log_posteriors)
+    if frame_subsampling_factor < 1:
+        raise ValueError("frame_subsampling_factor must be >= 1")
+    log_posteriors = log_posteriors[::frame_subsampling_factor]
+    n_frames, n_states = log_posteriors.shape
+    if n_frames == 0:
+        return []
+    scores = log_posteriors[0].copy()
+    backpointers = np.zeros((n_frames, n_states), dtype=int)
+    for t in range(1, n_frames):
+        switch_best = scores.max() + switch_logprob
+        switch_arg = int(scores.argmax())
+        stay = scores + self_loop_logprob
+        use_stay = stay >= switch_best
+        new_scores = np.where(use_stay, stay, switch_best) + log_posteriors[t]
+        backpointers[t] = np.where(use_stay, np.arange(n_states), switch_arg)
+        scores = new_scores
+    path = [int(scores.argmax())]
+    for t in range(n_frames - 1, 0, -1):
+        path.append(int(backpointers[t, path[-1]]))
+    path.reverse()
+    labels = [PHONEMES[i] for i in path]
+    # Re-expand so callers always see one label per original frame.
+    if frame_subsampling_factor > 1:
+        expanded: list[Phoneme] = []
+        for label in labels:
+            expanded.extend([label] * frame_subsampling_factor)
+        labels = expanded
+    return labels
+
+
+def collapse_frame_labels(frame_labels: list[Phoneme],
+                          min_run: int = 1) -> list[Phoneme]:
+    """Collapse consecutive repeats (CTC collapse), dropping short runs.
+
+    Args:
+        frame_labels: per-frame phoneme labels.
+        min_run: minimum number of consecutive frames required for a phoneme
+            to be emitted (runs shorter than this are treated as noise).
+    """
+    if min_run < 1:
+        raise ValueError("min_run must be >= 1")
+    collapsed: list[Phoneme] = []
+    run_label: Phoneme | None = None
+    run_length = 0
+    for label in [*frame_labels, None]:
+        if label == run_label:
+            run_length += 1
+            continue
+        if run_label is not None and run_length >= min_run:
+            if not collapsed or collapsed[-1] != run_label:
+                collapsed.append(run_label)
+        run_label = label
+        run_length = 1
+    return collapsed
+
+
+def strip_silence(phonemes: list[Phoneme]) -> list[Phoneme]:
+    """Remove silence markers from a phoneme sequence."""
+    return [p for p in phonemes if p != SILENCE]
+
+
+def split_at_silence(phonemes: list[Phoneme]) -> list[list[Phoneme]]:
+    """Split a collapsed phoneme sequence into word segments at silences."""
+    segments: list[list[Phoneme]] = []
+    current: list[Phoneme] = []
+    for phoneme in phonemes:
+        if phoneme == SILENCE:
+            if current:
+                segments.append(current)
+                current = []
+        else:
+            current.append(phoneme)
+    if current:
+        segments.append(current)
+    return segments
+
+
+# ------------------------------------------------------------- word decoder
+
+
+class WordDecoder:
+    """Maps phoneme segments to vocabulary words.
+
+    For each silence-delimited segment the decoder searches the lexicon for
+    the pronunciation with the smallest edit distance, using the language
+    model to break near-ties.  Segments that match no word well are decoded
+    by trying a two-word split; segments that still match nothing are
+    dropped (mirroring how a real decoder would emit nothing for
+    unintelligible audio).
+    """
+
+    #: Per-phoneme cost above which a segment is considered unintelligible.
+    MAX_COST_PER_PHONEME = 0.67
+
+    def __init__(self, lexicon: Lexicon, language_model: BigramLanguageModel,
+                 lm_weight: float = 0.2):
+        self.lexicon = lexicon
+        self.language_model = language_model
+        self.lm_weight = lm_weight
+        self._entries: list[tuple[str, tuple[Phoneme, ...]]] = []
+        self._by_length: dict[int, list[int]] = {}
+        self._segment_cache: dict[tuple, tuple[str, float]] = {}
+        self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        self._entries = sorted(self.lexicon.items())
+        self._by_length = {}
+        for idx, (_, pron) in enumerate(self._entries):
+            self._by_length.setdefault(len(pron), []).append(idx)
+        self._segment_cache.clear()
+
+    # ------------------------------------------------------------- decoding
+    def decode(self, phonemes: list[Phoneme]) -> tuple[str, list[str]]:
+        """Decode a collapsed phoneme sequence (with silences) into text.
+
+        Returns:
+            ``(sentence, words)`` where ``sentence`` is the joined text.
+        """
+        segments = split_at_silence(phonemes)
+        words: list[str] = []
+        previous: str | None = None
+        for segment in segments:
+            decoded = self._decode_segment(tuple(segment), previous)
+            words.extend(decoded)
+            if decoded:
+                previous = decoded[-1]
+        return " ".join(words), words
+
+    def _decode_segment(self, segment: tuple[Phoneme, ...],
+                        previous: str | None) -> list[str]:
+        if not segment:
+            return []
+        word, cost = self._best_word(segment, previous)
+        per_phoneme = cost / max(1, len(segment))
+        if per_phoneme <= self.MAX_COST_PER_PHONEME:
+            return [word]
+        # Try splitting into two words (handles a missed inter-word silence).
+        if len(segment) >= 4:
+            best: tuple[float, list[str]] | None = None
+            for split in range(2, len(segment) - 1):
+                left_word, left_cost = self._best_word(segment[:split], previous)
+                right_word, right_cost = self._best_word(segment[split:], left_word)
+                total = left_cost + right_cost
+                if best is None or total < best[0]:
+                    best = (total, [left_word, right_word])
+            if best is not None and best[0] / len(segment) <= self.MAX_COST_PER_PHONEME:
+                return best[1]
+        if per_phoneme <= 1.0:
+            # Poor match, but close enough to emit the best guess.
+            return [word]
+        return []
+
+    def _best_word(self, segment: tuple[Phoneme, ...],
+                   previous: str | None) -> tuple[str, float]:
+        cache_key = (segment, previous if self.lm_weight > 0 else None)
+        if cache_key in self._segment_cache:
+            return self._segment_cache[cache_key]
+        seg_len = len(segment)
+        best_word = ""
+        best_score = float("inf")
+        for length in range(max(1, seg_len - 2), seg_len + 3):
+            for idx in self._by_length.get(length, ()):
+                word, pron = self._entries[idx]
+                distance = edit_distance(pron, segment)
+                if distance - 1 > best_score:
+                    continue
+                lm_bonus = self.language_model.word_score(previous, word)
+                score = distance - self.lm_weight * lm_bonus
+                if score < best_score:
+                    best_score = score
+                    best_word = word
+        if not best_word:
+            # Fall back to an unconstrained search over the whole lexicon.
+            for word, pron in self._entries:
+                distance = edit_distance(pron, segment)
+                if distance < best_score:
+                    best_score = distance
+                    best_word = word
+        result = (best_word, float(best_score if best_score != float("inf") else seg_len))
+        self._segment_cache[cache_key] = result
+        return result

@@ -1,0 +1,50 @@
+"""DeepSpeech v0.1.0 and v0.1.1 simulators.
+
+DeepSpeech is the end-to-end RNN-CTC system the white-box attack targets.
+The two versions share the same architecture; v0.1.1 differs only in
+implementation details and training, which we model as a different
+projection seed and slightly different frame geometry and template noise.
+The paper's experiments show that even this small amount of diversity is
+enough for AEs crafted against v0.1.0 to fail on v0.1.1.
+"""
+
+from __future__ import annotations
+
+from repro.asr.simulated import SimulatedASR
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.dsp.features import MfccFeatureExtractor
+from repro.dsp.mfcc import MfccConfig
+from repro.text.language_model import BigramLanguageModel
+from repro.text.lexicon import Lexicon
+
+
+class DeepSpeechV010(SimulatedASR):
+    """Simulated Mozilla DeepSpeech v0.1.0 (the target model, "DS0")."""
+
+    def __init__(self, lexicon: Lexicon, language_model: BigramLanguageModel,
+                 synthesizer: SpeechSynthesizer, sample_rate: int = 16_000):
+        config = MfccConfig(sample_rate=sample_rate, frame_length=400,
+                            hop_length=160, n_fft=512, n_mels=26, n_mfcc=13)
+        super().__init__(
+            name="DeepSpeech v0.1.0", short_name="DS0",
+            feature_extractor=MfccFeatureExtractor(config),
+            lexicon=lexicon, language_model=language_model,
+            synthesizer=synthesizer, seed=1010, template_noise=0.015,
+            temperature=4.0, decode_style="greedy", min_phoneme_run=2,
+        )
+
+
+class DeepSpeechV011(SimulatedASR):
+    """Simulated Mozilla DeepSpeech v0.1.1 (auxiliary model, "DS1")."""
+
+    def __init__(self, lexicon: Lexicon, language_model: BigramLanguageModel,
+                 synthesizer: SpeechSynthesizer, sample_rate: int = 16_000):
+        config = MfccConfig(sample_rate=sample_rate, frame_length=384,
+                            hop_length=176, n_fft=512, n_mels=26, n_mfcc=13)
+        super().__init__(
+            name="DeepSpeech v0.1.1", short_name="DS1",
+            feature_extractor=MfccFeatureExtractor(config),
+            lexicon=lexicon, language_model=language_model,
+            synthesizer=synthesizer, seed=1111, template_noise=0.015,
+            temperature=4.0, decode_style="greedy", min_phoneme_run=2,
+        )

@@ -1,0 +1,36 @@
+"""Google Cloud Speech simulator.
+
+The real system is a cloud LSTM-RNN recogniser.  The simulator differs from
+the DeepSpeech simulators along every axis the paper identifies as a source
+of diversity: a log-mel front end with a larger frame, temporally smoothed
+decoding (standing in for recurrent context), its own projection seed, and
+an optional simulated network latency.
+"""
+
+from __future__ import annotations
+
+from repro.asr.simulated import SimulatedASR
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.dsp.features import LogMelFeatureExtractor
+from repro.text.language_model import BigramLanguageModel
+from repro.text.lexicon import Lexicon
+
+
+class GoogleCloudSpeech(SimulatedASR):
+    """Simulated Google Cloud Speech ("GCS")."""
+
+    def __init__(self, lexicon: Lexicon, language_model: BigramLanguageModel,
+                 synthesizer: SpeechSynthesizer, sample_rate: int = 16_000):
+        extractor = LogMelFeatureExtractor(sample_rate=sample_rate,
+                                           frame_length=512, hop_length=224,
+                                           n_fft=512, n_mels=40, n_ceps=20,
+                                           f_min=60.0,
+                                           per_frame_normalization=False)
+        super().__init__(
+            name="Google Cloud Speech", short_name="GCS",
+            feature_extractor=extractor,
+            lexicon=lexicon, language_model=language_model,
+            synthesizer=synthesizer, seed=2020, template_noise=0.02,
+            temperature=5.0, decode_style="smoothed", min_phoneme_run=2,
+            smoothing_window=1, is_cloud=True, cloud_latency_seconds=0.35,
+        )

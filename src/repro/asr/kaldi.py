@@ -1,0 +1,44 @@
+"""Kaldi simulator.
+
+Kaldi appears twice in the paper: Section III uses a Kaldi variant obtained
+by changing ``--frame-subsampling-factor`` from 1 to 3 to show that even a
+slightly reconfigured model breaks AE transfer, and Section V-E notes that
+using Kaldi as an auxiliary ASR hurts detection accuracy (< 80 %) because
+its benign-audio transcriptions are less accurate.  The simulator models
+both: a Viterbi (HMM-style) decoder with a configurable subsampling factor,
+and substantially noisier acoustic templates than the other systems.
+"""
+
+from __future__ import annotations
+
+from repro.asr.simulated import SimulatedASR
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.dsp.features import MfccFeatureExtractor
+from repro.dsp.mfcc import MfccConfig
+from repro.text.language_model import BigramLanguageModel
+from repro.text.lexicon import Lexicon
+
+
+class Kaldi(SimulatedASR):
+    """Simulated Kaldi GMM/DNN-HMM hybrid ("KAL")."""
+
+    def __init__(self, lexicon: Lexicon, language_model: BigramLanguageModel,
+                 synthesizer: SpeechSynthesizer, sample_rate: int = 16_000,
+                 frame_subsampling_factor: int = 1):
+        if frame_subsampling_factor < 1:
+            raise ValueError("frame_subsampling_factor must be >= 1")
+        config = MfccConfig(sample_rate=sample_rate, frame_length=400,
+                            hop_length=160, n_fft=512, n_mels=23, n_mfcc=13)
+        suffix = "" if frame_subsampling_factor == 1 else \
+            f" (subsampling {frame_subsampling_factor})"
+        super().__init__(
+            name=f"Kaldi{suffix}",
+            short_name="KAL" if frame_subsampling_factor == 1 else
+            f"KAL-fs{frame_subsampling_factor}",
+            feature_extractor=MfccFeatureExtractor(config),
+            lexicon=lexicon, language_model=language_model,
+            synthesizer=synthesizer, seed=4040 + frame_subsampling_factor,
+            template_noise=0.22, temperature=4.0, decode_style="viterbi",
+            min_phoneme_run=2,
+            frame_subsampling_factor=frame_subsampling_factor,
+        )

@@ -1,0 +1,87 @@
+"""Construction and caching of the ASR suite.
+
+Building an ASR simulator involves synthesising phoneme exemplars and
+fitting acoustic templates, so the registry caches one instance per system
+and shares a single lexicon, language model and training synthesiser across
+the whole suite (mirroring how the paper uses fixed, off-the-shelf models).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.asr.amazon import AmazonTranscribe
+from repro.asr.base import ASRSystem
+from repro.asr.deepspeech import DeepSpeechV010, DeepSpeechV011
+from repro.asr.google import GoogleCloudSpeech
+from repro.asr.kaldi import Kaldi
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.config import SAMPLE_RATE
+from repro.text.corpus import (
+    attack_command_corpus,
+    combined_vocabulary,
+    commonvoice_like_corpus,
+    librispeech_like_corpus,
+)
+from repro.text.language_model import BigramLanguageModel
+from repro.text.lexicon import Lexicon
+
+#: Short names of the systems used in the paper's evaluation.
+ASR_NAMES: tuple[str, ...] = ("DS0", "DS1", "GCS", "AT")
+
+
+@lru_cache(maxsize=1)
+def get_shared_lexicon() -> Lexicon:
+    """Pronunciation lexicon covering every built-in corpus."""
+    return Lexicon(combined_vocabulary())
+
+
+@lru_cache(maxsize=1)
+def get_shared_language_model() -> BigramLanguageModel:
+    """Bigram language model trained on the benign and attack corpora."""
+    model = BigramLanguageModel()
+    model.fit(librispeech_like_corpus())
+    model.fit(commonvoice_like_corpus())
+    model.fit(attack_command_corpus())
+    model.fit(attack_command_corpus(two_word_only=True))
+    return model
+
+
+@lru_cache(maxsize=1)
+def get_training_synthesizer() -> SpeechSynthesizer:
+    """Synthesiser used to build acoustic templates (fixed seed)."""
+    return SpeechSynthesizer(sample_rate=SAMPLE_RATE,
+                             lexicon=get_shared_lexicon(), seed=7)
+
+
+@lru_cache(maxsize=16)
+def build_asr(short_name: str) -> ASRSystem:
+    """Build (or fetch the cached) ASR simulator for ``short_name``.
+
+    Recognised names: ``DS0``, ``DS1``, ``GCS``, ``AT``, ``KAL`` and
+    ``KAL-fs3`` (the Kaldi variant with frame subsampling factor 3).
+    """
+    lexicon = get_shared_lexicon()
+    language_model = get_shared_language_model()
+    synthesizer = get_training_synthesizer()
+    kwargs = dict(lexicon=lexicon, language_model=language_model,
+                  synthesizer=synthesizer, sample_rate=SAMPLE_RATE)
+    if short_name == "DS0":
+        return DeepSpeechV010(**kwargs)
+    if short_name == "DS1":
+        return DeepSpeechV011(**kwargs)
+    if short_name == "GCS":
+        return GoogleCloudSpeech(**kwargs)
+    if short_name == "AT":
+        return AmazonTranscribe(**kwargs)
+    if short_name == "KAL":
+        return Kaldi(**kwargs)
+    if short_name.startswith("KAL-fs"):
+        factor = int(short_name.removeprefix("KAL-fs"))
+        return Kaldi(frame_subsampling_factor=factor, **kwargs)
+    raise KeyError(f"unknown ASR short name {short_name!r}")
+
+
+def default_asr_suite() -> dict[str, ASRSystem]:
+    """The target model and the three auxiliary models used by the paper."""
+    return {name: build_asr(name) for name in ASR_NAMES}

@@ -1,0 +1,104 @@
+"""Shared machinery of the simulated ASR systems.
+
+:class:`SimulatedASR` wires together a feature extractor, a
+:class:`~repro.asr.acoustic.TemplateAcousticModel`, a frame decoder and a
+:class:`~repro.asr.decoder.WordDecoder` into a complete speech-to-text
+pipeline following the four stages described in Section II of the paper.
+Concrete systems (DeepSpeech, Google Cloud Speech, Amazon Transcribe,
+Kaldi) differ only in their front ends, projection seeds, decoding styles
+and noise levels.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.asr.acoustic import TemplateAcousticModel
+from repro.asr.base import ASRSystem, Transcription
+from repro.asr.decoder import (
+    WordDecoder,
+    collapse_frame_labels,
+    greedy_frame_labels,
+    smoothed_frame_labels,
+    strip_silence,
+    viterbi_frame_labels,
+)
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.config import runtime
+from repro.dsp.features import FeatureExtractor
+from repro.text.language_model import BigramLanguageModel
+from repro.text.lexicon import Lexicon
+
+
+class SimulatedASR(ASRSystem):
+    """Full feature → phoneme → word speech recognition pipeline."""
+
+    #: decoding style: "greedy", "smoothed" or "viterbi".
+    decode_style: str = "greedy"
+    #: minimum frame run required for a phoneme to be emitted.
+    min_phoneme_run: int = 2
+    #: simulated cloud round-trip latency in seconds (only applied when the
+    #: runtime flag ``simulate_cloud_latency`` is on).
+    cloud_latency_seconds: float = 0.0
+
+    def __init__(self, name: str, short_name: str,
+                 feature_extractor: FeatureExtractor,
+                 lexicon: Lexicon, language_model: BigramLanguageModel,
+                 synthesizer: SpeechSynthesizer, seed: int,
+                 template_noise: float = 0.02, temperature: float = 4.0,
+                 decode_style: str = "greedy", min_phoneme_run: int = 2,
+                 is_cloud: bool = False, cloud_latency_seconds: float = 0.0,
+                 frame_subsampling_factor: int = 1,
+                 smoothing_window: int = 2):
+        self.name = name
+        self.short_name = short_name
+        self.is_cloud = is_cloud
+        self.cloud_latency_seconds = cloud_latency_seconds
+        self.decode_style = decode_style
+        self.min_phoneme_run = min_phoneme_run
+        self.frame_subsampling_factor = frame_subsampling_factor
+        self.smoothing_window = smoothing_window
+        self.feature_extractor = feature_extractor
+        self.acoustic_model = TemplateAcousticModel(
+            feature_extractor, seed=seed, template_noise=template_noise,
+            temperature=temperature,
+        ).fit(synthesizer)
+        self.word_decoder = WordDecoder(lexicon, language_model)
+
+    # ----------------------------------------------------------- components
+    def features(self, samples: np.ndarray) -> np.ndarray:
+        """Feature matrix of raw samples (front-end stage)."""
+        return self.feature_extractor.transform(samples)
+
+    def frame_log_posteriors(self, samples: np.ndarray) -> np.ndarray:
+        """Frame-level phoneme log posteriors (acoustic stage)."""
+        return self.acoustic_model.log_posteriors(self.features(samples))
+
+    def _frame_labels(self, log_posteriors: np.ndarray) -> list[str]:
+        if self.decode_style == "greedy":
+            return greedy_frame_labels(log_posteriors)
+        if self.decode_style == "smoothed":
+            return smoothed_frame_labels(log_posteriors, window=self.smoothing_window)
+        if self.decode_style == "viterbi":
+            return viterbi_frame_labels(
+                log_posteriors,
+                frame_subsampling_factor=self.frame_subsampling_factor)
+        raise ValueError(f"unknown decode style {self.decode_style!r}")
+
+    # --------------------------------------------------------------- pipeline
+    def _transcribe_samples(self, samples: np.ndarray, sample_rate: int) -> Transcription:
+        if self.is_cloud and runtime().simulate_cloud_latency and \
+                self.cloud_latency_seconds > 0:
+            time.sleep(self.cloud_latency_seconds)
+        log_posteriors = self.frame_log_posteriors(samples)
+        frame_labels = self._frame_labels(log_posteriors)
+        collapsed = collapse_frame_labels(frame_labels, min_run=self.min_phoneme_run)
+        text, words = self.word_decoder.decode(collapsed)
+        return Transcription(text=text,
+                             phonemes=tuple(strip_silence(collapsed)),
+                             frame_labels=tuple(frame_labels),
+                             asr_name=self.name,
+                             extra={"n_frames": len(frame_labels),
+                                    "words": words})

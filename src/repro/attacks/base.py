@@ -1,0 +1,72 @@
+"""Common attack interfaces and result types."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.audio.metrics import similarity_percent
+from repro.audio.waveform import Waveform
+from repro.text.metrics import word_error_rate
+from repro.text.normalize import normalize_text
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack attempt.
+
+    Attributes:
+        adversarial: the crafted audio (label set to the attack type).
+        original: the host audio the attack started from.
+        target_text: the command the attacker wants transcribed.
+        success: True if the target ASR transcribes the AE exactly as (or
+            within a small WER of) the target text.
+        transcription: the target ASR's transcription of the AE.
+        iterations: optimisation iterations / generations used.
+        similarity: percentage similarity between the AE and the host audio
+            (the paper quotes 99.9 % for white-box, 94.6 % for black-box).
+        diagnostics: attack-specific extra information.
+    """
+
+    adversarial: Waveform
+    original: Waveform
+    target_text: str
+    success: bool
+    transcription: str
+    iterations: int
+    similarity: float
+    diagnostics: dict = field(default_factory=dict)
+
+
+class TargetedAttack(ABC):
+    """A targeted audio AE generation method against a single ASR."""
+
+    #: label stamped onto generated waveforms.
+    label = "adversarial"
+
+    @abstractmethod
+    def run(self, host: Waveform, target_text: str) -> AttackResult:
+        """Craft an AE from ``host`` that should transcribe as ``target_text``."""
+
+    # ------------------------------------------------------------- helpers
+    def _build_result(self, host: Waveform, adversarial_samples, target_text: str,
+                      transcription: str, iterations: int,
+                      success_wer: float = 0.0, **diagnostics) -> AttackResult:
+        """Package an attack outcome into an :class:`AttackResult`."""
+        target_text = normalize_text(target_text)
+        adversarial = host.with_samples(adversarial_samples,
+                                        attack=type(self).__name__,
+                                        target_text=target_text,
+                                        host_text=host.text)
+        adversarial = adversarial.with_label(self.label)
+        success = word_error_rate(target_text, transcription) <= success_wer
+        return AttackResult(
+            adversarial=adversarial,
+            original=host,
+            target_text=target_text,
+            success=success,
+            transcription=transcription,
+            iterations=iterations,
+            similarity=similarity_percent(host, adversarial),
+            diagnostics=diagnostics,
+        )

@@ -1,0 +1,313 @@
+"""Black-box targeted attack in the style of Taori et al. (2018).
+
+The attacker can query the target ASR and observe its output scores (the
+per-frame posteriors / CTC loss of a candidate phrase, as exposed by
+DeepSpeech) but has no access to gradients or internal parameters.  The
+attack runs a genetic algorithm over a low-dimensional perturbation genome
+and finishes with a finite-difference gradient-estimation phase, mirroring
+the structure of the original attack.
+
+The genome has two genes per analysis frame of the target model:
+
+* ``inject``: the gain of a noise burst shaped to the target phoneme's
+  formant bands for that frame, and
+* ``suppress``: how much of the host signal in that frame is cancelled.
+
+This keeps the search space small enough for a genetic algorithm to
+converge within a few hundred queries while producing exactly the artefact
+the paper describes: a *much larger, audible* perturbation than the
+white-box attack (the paper quotes ~94.6 % similarity versus ~99.9 %), able
+to embed only short (two-word) payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asr.simulated import SimulatedASR
+from repro.attacks.alignment import target_alignment_from_host
+from repro.attacks.base import AttackResult, TargetedAttack
+from repro.audio.waveform import Waveform
+from repro.text.normalize import normalize_text, tokenize
+from repro.text.phonemes import PHONEMES, phoneme_profile
+
+
+@dataclass(frozen=True)
+class BlackBoxAttackConfig:
+    """Hyper-parameters of the black-box attack."""
+
+    population_size: int = 20
+    max_generations: int = 60
+    elite_fraction: float = 0.25
+    mutation_std: float = 0.12
+    max_inject: float = 0.35
+    max_suppress: float = 0.9
+    max_target_words: int = 2
+    gradient_estimation_generations: int = 6
+    gradient_estimation_step: float = 0.05
+    check_every: int = 5
+    #: weight of the perturbation-size penalty in the fitness function.
+    perturbation_penalty: float = 0.4
+    #: bisection steps used to shrink a successful genome.
+    shrink_steps: int = 5
+    #: number of spectrally-sparse injection variants per segment.
+    n_sparse_variants: int = 4
+    #: fraction of spectral components kept in each sparse variant.
+    sparse_keep_fraction: float = 0.15
+
+
+class BlackBoxGeneticAttack(TargetedAttack):
+    """Query-only targeted attack combining a GA with gradient estimation."""
+
+    label = "blackbox-ae"
+
+    def __init__(self, target_asr: SimulatedASR,
+                 config: BlackBoxAttackConfig | None = None, seed: int = 0):
+        self.target_asr = target_asr
+        self.config = config or BlackBoxAttackConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # -------------------------------------------------------------- scoring
+    def _alignment_loss(self, samples: np.ndarray, alignment: np.ndarray) -> float:
+        """Score of a candidate: negative log posterior of the target alignment.
+
+        Only the target model's output posteriors are used — the same
+        information the real black-box attack extracts from the CTC loss
+        reported by DeepSpeech — so no gradient or parameter access is
+        involved.
+        """
+        log_posteriors = self.target_asr.frame_log_posteriors(samples)
+        n = min(log_posteriors.shape[0], alignment.shape[0])
+        if n == 0:
+            return float("inf")
+        frame_idx = np.arange(n)
+        return float(-log_posteriors[frame_idx, alignment[:n]].mean())
+
+    # ------------------------------------------------------------ genome ops
+    def _build_segments(self, alignment: np.ndarray, hop: int, frame_length: int,
+                        n_samples: int, sample_rate: int) -> list[dict]:
+        """Split the alignment into per-phoneme segments with injection audio.
+
+        The attacker does not know the target model's internals, but does
+        know what the target phrase *sounds* like; each aligned phoneme
+        segment gets several *spectrally sparse* renderings of that phoneme
+        (only a small random subset of frequency components is kept).  The
+        genetic algorithm then discovers, purely from queries, which sparse
+        variant the target model responds to — a different model, attending
+        to different spectral detail, is unlikely to respond to the same
+        variant, which is what keeps these AEs from transferring.
+        """
+        from repro.audio.synthesis import SpeakerProfile, SpeechSynthesizer
+
+        synthesizer = SpeechSynthesizer(sample_rate=sample_rate, seed=91)
+        speaker = SpeakerProfile(pitch_hz=130.0)
+        rng = np.random.default_rng(177)
+        segments: list[dict] = []
+        start_frame = 0
+        n_frames = alignment.shape[0]
+        while start_frame < n_frames:
+            end_frame = start_frame
+            while end_frame + 1 < n_frames and alignment[end_frame + 1] == alignment[start_frame]:
+                end_frame += 1
+            phoneme = PHONEMES[int(alignment[start_frame])]
+            start_sample = start_frame * hop
+            end_sample = min(n_samples, (end_frame + 1) * hop + (frame_length - hop))
+            duration = max((end_sample - start_sample) / sample_rate, 0.02)
+            rendered = synthesizer.phoneme_exemplar(phoneme, duration=duration,
+                                                    speaker=speaker)
+            span = end_sample - start_sample
+            if rendered.shape[0] < span:
+                rendered = np.pad(rendered, (0, span - rendered.shape[0]))
+            burst = rendered[:span]
+            peak = np.max(np.abs(burst))
+            burst = burst / peak if peak > 0 else burst
+            variants = [self._sparsify(burst, rng)
+                        for _ in range(self.config.n_sparse_variants)]
+            segments.append({
+                "phoneme": phoneme,
+                "start": start_sample,
+                "end": end_sample,
+                "variants": variants,
+            })
+            start_frame = end_frame + 1
+        return segments
+
+    def _sparsify(self, burst: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Keep only a random sparse subset of the burst's spectral content."""
+        if burst.size == 0:
+            return burst
+        spectrum = np.fft.rfft(burst)
+        magnitudes = np.abs(spectrum)
+        keep = max(1, int(self.config.sparse_keep_fraction * magnitudes.size))
+        # Prefer the strong components but choose a random subset of them so
+        # different variants emphasise different spectral detail.
+        strongest = np.argsort(magnitudes)[-3 * keep:]
+        chosen = rng.choice(strongest, size=min(keep, strongest.size), replace=False)
+        mask = np.zeros_like(magnitudes)
+        mask[chosen] = 1.0
+        sparse = np.fft.irfft(spectrum * mask, n=burst.size)
+        peak = np.max(np.abs(sparse))
+        return sparse / peak if peak > 0 else sparse
+
+    def _apply_genome(self, samples: np.ndarray, genome: np.ndarray,
+                      segments: list[dict]) -> np.ndarray:
+        """Render a genome (inject, suppress, variant per segment) as audio."""
+        perturbed = samples.copy()
+        for (inject, suppress, variant), segment in zip(genome, segments):
+            start, end = segment["start"], segment["end"]
+            if end <= start:
+                continue
+            variants = segment["variants"]
+            burst = variants[int(variant) % len(variants)]
+            host_part = samples[start:end]
+            perturbed[start:end] = ((1.0 - suppress) * host_part
+                                    + inject * burst[: end - start])
+        return np.clip(perturbed, -1.0, 1.0)
+
+    # ------------------------------------------------------------------ run
+    def run(self, host: Waveform, target_text: str) -> AttackResult:
+        """Craft an AE from ``host`` targeting the (short) ``target_text``."""
+        cfg = self.config
+        target_text = normalize_text(target_text)
+        if len(tokenize(target_text)) > cfg.max_target_words:
+            raise ValueError(
+                f"the black-box attack embeds at most {cfg.max_target_words} words "
+                f"(got {target_text!r})")
+        asr = self.target_asr
+        samples = host.samples.copy()
+        extractor = asr.feature_extractor
+        hop = extractor.hop_length
+        frame_length = extractor.frame_length
+
+        host_transcription = asr.transcribe(host)
+        alignment = target_alignment_from_host(
+            target_text, list(host_transcription.frame_labels),
+            asr.word_decoder.lexicon,
+            min_frames_per_phoneme=max(2, asr.min_phoneme_run))
+        rng = self._rng
+        segments = self._build_segments(alignment, hop, frame_length,
+                                        len(samples), host.sample_rate)
+        n_genes = len(segments)
+
+        host_norm = float(np.linalg.norm(samples)) or 1.0
+
+        def render(genome: np.ndarray) -> np.ndarray:
+            return self._apply_genome(samples, genome, segments)
+
+        def fitness(genome: np.ndarray) -> float:
+            rendered = render(genome)
+            distortion = float(np.linalg.norm(rendered - samples)) / host_norm
+            return (self._alignment_loss(rendered, alignment)
+                    + cfg.perturbation_penalty * distortion)
+
+        # Half the initial population starts from weak perturbations, the
+        # other half from aggressive ones, so the GA explores both ends.
+        population = []
+        for member in range(cfg.population_size):
+            if member % 2 == 0:
+                inject = rng.uniform(0.0, cfg.max_inject * 0.5, n_genes)
+                suppress = rng.uniform(0.0, 0.5, n_genes)
+            else:
+                inject = rng.uniform(cfg.max_inject * 0.4, cfg.max_inject, n_genes)
+                suppress = rng.uniform(0.4, cfg.max_suppress, n_genes)
+            variant = rng.integers(0, cfg.n_sparse_variants, n_genes).astype(float)
+            population.append(np.column_stack([inject, suppress, variant]))
+        n_elite = max(1, int(cfg.elite_fraction * cfg.population_size))
+        best_genome = population[0]
+        best_loss = float("inf")
+        transcription = ""
+        generations_used = cfg.max_generations
+        success = False
+
+        for generation in range(1, cfg.max_generations + 1):
+            losses = [fitness(genome) for genome in population]
+            order = np.argsort(losses)
+            population = [population[i] for i in order]
+            if losses[order[0]] < best_loss:
+                best_loss = losses[order[0]]
+                best_genome = population[0].copy()
+
+            if generation % cfg.check_every == 0 or generation == cfg.max_generations:
+                transcription = asr.transcribe(
+                    host.with_samples(render(population[0]))).text
+                if transcription == target_text:
+                    success = True
+                    generations_used = generation
+                    best_genome = population[0].copy()
+                    break
+
+            elites = population[:n_elite]
+            children = list(elites)
+            while len(children) < cfg.population_size:
+                mother, father = rng.choice(n_elite, size=2, replace=True)
+                mask = rng.random(n_genes)[:, None] < 0.5
+                child = np.where(mask, elites[mother], elites[father])
+                child[:, :2] = child[:, :2] + \
+                    cfg.mutation_std * rng.standard_normal((n_genes, 2)) * \
+                    np.array([cfg.max_inject, cfg.max_suppress])
+                child[:, 0] = np.clip(child[:, 0], 0.0, cfg.max_inject)
+                child[:, 1] = np.clip(child[:, 1], 0.0, cfg.max_suppress)
+                # Occasionally swap a segment's sparse variant.
+                variant_mask = rng.random(n_genes) < 0.15
+                child[variant_mask, 2] = rng.integers(
+                    0, cfg.n_sparse_variants, int(variant_mask.sum())).astype(float)
+                children.append(child)
+            population = children
+
+        # Gradient-estimation refinement: coordinate-wise finite differences
+        # on the continuous genes, still using only query access.
+        for _ in range(cfg.gradient_estimation_generations):
+            if success:
+                break
+            base_loss = fitness(best_genome)
+            gradient = np.zeros((n_genes, 2))
+            for column in range(2):
+                probe = best_genome.copy()
+                probe[:, column] = np.clip(
+                    probe[:, column] + cfg.gradient_estimation_step, 0.0,
+                    cfg.max_inject if column == 0 else cfg.max_suppress)
+                gradient[:, column] = (fitness(probe) - base_loss) / \
+                    cfg.gradient_estimation_step
+            best_genome[:, :2] = best_genome[:, :2] - \
+                cfg.gradient_estimation_step * np.sign(gradient)
+            best_genome[:, 0] = np.clip(best_genome[:, 0], 0.0, cfg.max_inject)
+            best_genome[:, 1] = np.clip(best_genome[:, 1], 0.0, cfg.max_suppress)
+            transcription = asr.transcribe(host.with_samples(render(best_genome))).text
+            if transcription == target_text:
+                success = True
+
+        if success:
+            best_genome = self._shrink(best_genome, render, target_text, host, asr)
+        final = render(best_genome)
+        final_transcription = asr.transcribe(host.with_samples(final)).text
+        return self._build_result(
+            host, final, target_text, final_transcription, generations_used,
+            final_loss=best_loss,
+            perturbation_linf=float(np.max(np.abs(final - samples))),
+        )
+
+    def _shrink(self, genome: np.ndarray, render, target_text: str,
+                host: Waveform, asr: SimulatedASR) -> np.ndarray:
+        """Bisect the smallest gain scale that still fools the target.
+
+        Only the continuous genes (inject/suppress) are scaled; the discrete
+        sparse-variant gene is left untouched.
+        """
+
+        def scaled(scale: float) -> np.ndarray:
+            copy = genome.copy()
+            copy[:, :2] *= scale
+            return copy
+
+        low, high = 0.0, 1.0
+        best_scale = 1.0
+        for _ in range(self.config.shrink_steps):
+            mid = (low + high) / 2.0
+            if asr.transcribe(host.with_samples(render(scaled(mid)))).text == target_text:
+                best_scale = mid
+                high = mid
+            else:
+                low = mid
+        return scaled(best_scale)

@@ -1,0 +1,53 @@
+"""Non-targeted adversarial examples.
+
+Section V-J of the paper observes that non-targeted AEs can be produced by
+simply adding noise at −6 dB SNR to benign audio: the result is still
+recognisable to humans but drives the ASR word error rate above 80 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asr.base import ASRSystem
+from repro.audio.noise import add_noise_snr
+from repro.audio.waveform import Waveform
+from repro.text.metrics import word_error_rate
+
+
+def make_nontargeted_example(host: Waveform, rng: np.random.Generator,
+                             snr_db: float = -6.0,
+                             target_asr: ASRSystem | None = None,
+                             min_wer: float = 0.8,
+                             max_attempts: int = 4) -> Waveform:
+    """Create a non-targeted AE by noise injection.
+
+    Args:
+        host: benign audio with ground-truth text.
+        rng: random generator.
+        snr_db: signal-to-noise ratio of the injected noise (the paper uses
+            −6 dB).
+        target_asr: if given, the function verifies that the ASR's word
+            error rate on the noisy audio exceeds ``min_wer`` and lowers the
+            SNR (more noise) for up to ``max_attempts`` attempts otherwise.
+        min_wer: word error rate threshold defining a successful
+            non-targeted AE.
+        max_attempts: number of SNR reductions to try.
+
+    Returns:
+        The noisy waveform, labelled ``"nontargeted-ae"``; its metadata
+        records the SNR used and, when a target ASR was supplied, the
+        achieved word error rate.
+    """
+    current_snr = snr_db
+    noisy = add_noise_snr(host, current_snr, rng)
+    if target_asr is None:
+        return noisy
+    for _ in range(max_attempts):
+        wer = word_error_rate(host.text, target_asr.transcribe(noisy).text)
+        if wer >= min_wer:
+            return noisy.with_samples(noisy.samples, achieved_wer=wer)
+        current_snr -= 4.0
+        noisy = add_noise_snr(host, current_snr, rng)
+    wer = word_error_rate(host.text, target_asr.transcribe(noisy).text)
+    return noisy.with_samples(noisy.samples, achieved_wer=wer)

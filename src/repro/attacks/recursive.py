@@ -1,0 +1,61 @@
+"""Two-iteration recursive attack (CommanderSong-style transfer probe).
+
+Section III of the paper tests whether transferable AEs can be built by
+chaining two single-target attacks: an AE crafted against model A is used
+as the host audio for a second attack against model B, embedding the same
+command.  The paper (and this reproduction) finds that the second iteration
+destroys the success on the first model — the resulting audio fools B but
+no longer A, i.e. the method does not yield transferable AEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asr.base import ASRSystem
+from repro.attacks.base import AttackResult, TargetedAttack
+from repro.audio.waveform import Waveform
+from repro.text.metrics import word_error_rate
+from repro.text.normalize import normalize_text
+
+
+@dataclass
+class RecursiveAttackResult:
+    """Outcome of the two-iteration recursive attack."""
+
+    first: AttackResult
+    second: AttackResult
+    #: transcription of the final audio by every probed ASR.
+    transcriptions: dict[str, str] = field(default_factory=dict)
+    #: per-ASR success of the final audio (exact match with the command).
+    fools: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def transferable(self) -> bool:
+        """True if the final AE fools every probed ASR."""
+        return bool(self.fools) and all(self.fools.values())
+
+
+class RecursiveTransferAttack:
+    """Chain two targeted attacks in an attempt to build a transferable AE."""
+
+    def __init__(self, first_attack: TargetedAttack, second_attack: TargetedAttack):
+        self.first_attack = first_attack
+        self.second_attack = second_attack
+
+    def run(self, host: Waveform, command: str,
+            probe_asrs: dict[str, ASRSystem]) -> RecursiveAttackResult:
+        """Run both attack iterations and probe the final AE on ``probe_asrs``."""
+        command = normalize_text(command)
+        first = self.first_attack.run(host, command)
+        second_host = first.adversarial.with_text(host.text)
+        second = self.second_attack.run(second_host, command)
+
+        transcriptions: dict[str, str] = {}
+        fools: dict[str, bool] = {}
+        for name, asr in probe_asrs.items():
+            text = asr.transcribe(second.adversarial).text
+            transcriptions[name] = text
+            fools[name] = word_error_rate(command, text) == 0.0
+        return RecursiveAttackResult(first=first, second=second,
+                                     transcriptions=transcriptions, fools=fools)

@@ -1,0 +1,25 @@
+"""Audio substrate: waveforms, WAV I/O, speech synthesis and noise."""
+
+from repro.audio.waveform import Waveform
+from repro.audio.wavio import read_wav, write_wav
+from repro.audio.synthesis import SpeechSynthesizer, SpeakerProfile
+from repro.audio.noise import white_noise, pink_noise, add_noise_snr
+from repro.audio.metrics import (
+    relative_perturbation,
+    similarity_percent,
+    signal_to_noise_ratio_db,
+)
+
+__all__ = [
+    "Waveform",
+    "read_wav",
+    "write_wav",
+    "SpeechSynthesizer",
+    "SpeakerProfile",
+    "white_noise",
+    "pink_noise",
+    "add_noise_snr",
+    "relative_perturbation",
+    "similarity_percent",
+    "signal_to_noise_ratio_db",
+]

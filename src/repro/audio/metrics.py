@@ -1,0 +1,50 @@
+"""Perturbation size metrics.
+
+The paper quantifies attack distortion as the similarity (in percent)
+between an AE and its host audio — 99.9 % for white-box AEs, 94.6 % for
+black-box AEs.  These helpers compute that similarity plus conventional SNR
+in dB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.waveform import Waveform
+
+
+def _aligned_samples(a: Waveform, b: Waveform) -> tuple[np.ndarray, np.ndarray]:
+    n = max(len(a), len(b))
+    return a.padded_to(n).samples, b.padded_to(n).samples
+
+
+def relative_perturbation(original: Waveform, modified: Waveform) -> float:
+    """L2 norm of the perturbation relative to the L2 norm of the original."""
+    orig, mod = _aligned_samples(original, modified)
+    denom = np.linalg.norm(orig)
+    if denom == 0:
+        return 0.0 if np.linalg.norm(mod) == 0 else float("inf")
+    return float(np.linalg.norm(mod - orig) / denom)
+
+
+def similarity_percent(original: Waveform, modified: Waveform) -> float:
+    """Percentage similarity between two waveforms.
+
+    Defined as ``100 * (1 - relative L2 perturbation)``, floored at 0.  A
+    white-box AE should score around 99+ %, a black-box AE in the low-to-mid
+    90s, matching the figures quoted in the paper.
+    """
+    return float(max(0.0, 100.0 * (1.0 - relative_perturbation(original, modified))))
+
+
+def signal_to_noise_ratio_db(original: Waveform, modified: Waveform) -> float:
+    """SNR of the original signal against the perturbation, in dB."""
+    orig, mod = _aligned_samples(original, modified)
+    noise = mod - orig
+    signal_power = np.mean(orig ** 2)
+    noise_power = np.mean(noise ** 2)
+    if noise_power == 0:
+        return float("inf")
+    if signal_power == 0:
+        return float("-inf")
+    return float(10.0 * np.log10(signal_power / noise_power))

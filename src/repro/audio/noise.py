@@ -1,0 +1,61 @@
+"""Noise generators and SNR-controlled mixing.
+
+Used by the non-targeted AE experiment (Section V-J of the paper adds noise
+at −6 dB SNR) and by the robustness/ablation studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.waveform import Waveform
+
+
+def white_noise(n_samples: int, rng: np.random.Generator) -> np.ndarray:
+    """Unit-variance white Gaussian noise."""
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    return rng.standard_normal(n_samples)
+
+
+def pink_noise(n_samples: int, rng: np.random.Generator) -> np.ndarray:
+    """Approximate 1/f (pink) noise via spectral shaping."""
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    if n_samples == 0:
+        return np.zeros(0)
+    spectrum = np.fft.rfft(rng.standard_normal(n_samples))
+    freqs = np.arange(spectrum.shape[0], dtype=np.float64)
+    freqs[0] = 1.0
+    shaped = np.fft.irfft(spectrum / np.sqrt(freqs), n=n_samples)
+    std = shaped.std()
+    return shaped / std if std > 0 else shaped
+
+
+def add_noise_snr(waveform: Waveform, snr_db: float,
+                  rng: np.random.Generator, kind: str = "white") -> Waveform:
+    """Mix noise into ``waveform`` at the requested signal-to-noise ratio.
+
+    Args:
+        waveform: host audio.
+        snr_db: desired SNR in dB (negative values mean the noise is louder
+            than the speech, as in the paper's −6 dB setting).
+        rng: random generator.
+        kind: ``"white"`` or ``"pink"``.
+    """
+    n = len(waveform)
+    if kind == "white":
+        noise = white_noise(n, rng)
+    elif kind == "pink":
+        noise = pink_noise(n, rng)
+    else:
+        raise ValueError(f"unknown noise kind {kind!r}")
+    signal_power = np.mean(waveform.samples ** 2)
+    noise_power = np.mean(noise ** 2)
+    if signal_power == 0 or noise_power == 0:
+        return waveform
+    target_noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    noise = noise * np.sqrt(target_noise_power / noise_power)
+    noisy = waveform.with_samples(waveform.samples + noise,
+                                  snr_db=snr_db, noise_kind=kind)
+    return noisy.with_label("nontargeted-ae")

@@ -1,0 +1,115 @@
+"""The :class:`Waveform` value type used across the library.
+
+A waveform is an immutable wrapper around a 1-D float64 sample array in
+``[-1, 1]`` plus a sample rate and optional ground-truth text.  All audio in
+the library — synthesised benign speech, adversarial examples, noisy
+variants — flows through this type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """An audio clip.
+
+    Attributes:
+        samples: 1-D float64 array of samples, nominally in ``[-1, 1]``.
+        sample_rate: sampling rate in Hz.
+        text: ground-truth transcription (empty if unknown).
+        label: free-form tag ("benign", "whitebox-ae", ...).
+        metadata: extra provenance information (attack target phrase, host
+            sentence, attack iterations, ...).
+    """
+
+    samples: np.ndarray
+    sample_rate: int = 16_000
+    text: str = ""
+    label: str = "benign"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.float64)
+        if samples.ndim != 1:
+            raise ValueError("Waveform samples must be one-dimensional")
+        if self.sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        object.__setattr__(self, "samples", samples)
+
+    # ------------------------------------------------------------ properties
+    def __len__(self) -> int:
+        return int(self.samples.shape[0])
+
+    @property
+    def duration(self) -> float:
+        """Duration in seconds."""
+        return len(self) / self.sample_rate
+
+    @property
+    def rms(self) -> float:
+        """Root-mean-square amplitude."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.sqrt(np.mean(self.samples ** 2)))
+
+    @property
+    def peak(self) -> float:
+        """Maximum absolute sample value."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.max(np.abs(self.samples)))
+
+    # ------------------------------------------------------------ operations
+    def with_samples(self, samples: np.ndarray, **metadata_updates) -> "Waveform":
+        """Return a copy carrying ``samples`` and updated metadata."""
+        merged = dict(self.metadata)
+        merged.update(metadata_updates)
+        return replace(self, samples=np.asarray(samples, dtype=np.float64),
+                       metadata=merged)
+
+    def with_text(self, text: str) -> "Waveform":
+        """Return a copy with a different ground-truth text."""
+        return replace(self, text=text)
+
+    def with_label(self, label: str) -> "Waveform":
+        """Return a copy with a different label."""
+        return replace(self, label=label)
+
+    def clipped(self, limit: float = 1.0) -> "Waveform":
+        """Return a copy with samples clipped to ``[-limit, limit]``."""
+        if limit <= 0:
+            raise ValueError("clip limit must be positive")
+        return self.with_samples(np.clip(self.samples, -limit, limit))
+
+    def normalized(self, peak: float = 0.9) -> "Waveform":
+        """Return a copy scaled so the maximum absolute sample is ``peak``."""
+        current = self.peak
+        if current == 0:
+            return self
+        return self.with_samples(self.samples * (peak / current))
+
+    def padded_to(self, n_samples: int) -> "Waveform":
+        """Return a copy zero-padded (or truncated) to ``n_samples``."""
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        if n_samples <= len(self):
+            return self.with_samples(self.samples[:n_samples])
+        pad = np.zeros(n_samples - len(self))
+        return self.with_samples(np.concatenate([self.samples, pad]))
+
+    def mixed_with(self, other: "Waveform", gain: float = 1.0) -> "Waveform":
+        """Return this waveform plus ``gain * other`` (lengths aligned)."""
+        if other.sample_rate != self.sample_rate:
+            raise ValueError("cannot mix waveforms with different sample rates")
+        n = max(len(self), len(other))
+        mixed = self.padded_to(n).samples + gain * other.padded_to(n).samples
+        return self.with_samples(mixed)
+
+    def perturbation_from(self, original: "Waveform") -> np.ndarray:
+        """Sample-wise difference between this waveform and ``original``."""
+        n = max(len(self), len(original))
+        return self.padded_to(n).samples - original.padded_to(n).samples

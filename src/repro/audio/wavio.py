@@ -1,0 +1,77 @@
+"""Minimal RIFF/WAVE reader and writer (16-bit PCM, mono).
+
+The evaluation pipeline is fully in-memory, but the library still provides
+WAV I/O so generated datasets and adversarial examples can be exported and
+inspected with ordinary audio tools, matching the artefact the paper
+released (a directory of WAV files).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.audio.waveform import Waveform
+
+_PCM_FORMAT = 1
+_BITS_PER_SAMPLE = 16
+_MAX_INT16 = 32767
+
+
+def write_wav(path: str, waveform: Waveform) -> None:
+    """Write ``waveform`` to ``path`` as 16-bit mono PCM."""
+    samples = np.clip(waveform.samples, -1.0, 1.0)
+    pcm = np.round(samples * _MAX_INT16).astype("<i2")
+    data = pcm.tobytes()
+    byte_rate = waveform.sample_rate * _BITS_PER_SAMPLE // 8
+    block_align = _BITS_PER_SAMPLE // 8
+    with open(path, "wb") as handle:
+        handle.write(b"RIFF")
+        handle.write(struct.pack("<I", 36 + len(data)))
+        handle.write(b"WAVE")
+        handle.write(b"fmt ")
+        handle.write(struct.pack("<IHHIIHH", 16, _PCM_FORMAT, 1,
+                                 waveform.sample_rate, byte_rate,
+                                 block_align, _BITS_PER_SAMPLE))
+        handle.write(b"data")
+        handle.write(struct.pack("<I", len(data)))
+        handle.write(data)
+
+
+def read_wav(path: str) -> Waveform:
+    """Read a 16-bit mono PCM WAV file written by :func:`write_wav`.
+
+    Raises:
+        ValueError: if the file is not a supported RIFF/WAVE PCM file.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < 44 or blob[:4] != b"RIFF" or blob[8:12] != b"WAVE":
+        raise ValueError(f"{path!r} is not a RIFF/WAVE file")
+
+    offset = 12
+    sample_rate = None
+    channels = None
+    bits = None
+    data = None
+    while offset + 8 <= len(blob):
+        chunk_id = blob[offset:offset + 4]
+        chunk_size = struct.unpack("<I", blob[offset + 4:offset + 8])[0]
+        body = blob[offset + 8:offset + 8 + chunk_size]
+        if chunk_id == b"fmt ":
+            fmt, channels, sample_rate, _, _, bits = struct.unpack("<HHIIHH", body[:16])
+            if fmt != _PCM_FORMAT:
+                raise ValueError("only PCM WAV files are supported")
+        elif chunk_id == b"data":
+            data = body
+        offset += 8 + chunk_size + (chunk_size % 2)
+
+    if sample_rate is None or data is None:
+        raise ValueError(f"{path!r} is missing fmt or data chunks")
+    if channels != 1:
+        raise ValueError("only mono WAV files are supported")
+    if bits != _BITS_PER_SAMPLE:
+        raise ValueError("only 16-bit WAV files are supported")
+    pcm = np.frombuffer(data, dtype="<i2").astype(np.float64)
+    return Waveform(samples=pcm / _MAX_INT16, sample_rate=int(sample_rate))

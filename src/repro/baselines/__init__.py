@@ -1,0 +1,24 @@
+"""Baseline audio-AE detection methods discussed by the paper.
+
+Three prior approaches are implemented for comparison / ablation:
+
+* :class:`TemporalDependencyDetector` — Yang et al. (2018): split the audio
+  in two, transcribe the halves separately, and compare the spliced result
+  with the whole-audio transcription.
+* :class:`PreprocessingDetector` — Rajaratnam et al. (2018): compare the
+  transcription of the original audio with that of a pre-processed
+  (smoothed / compressed) copy.
+* :class:`HiddenVoiceCommandDetector` — Carlini et al. (2016): a logistic
+  regression over simple acoustic statistics, trained on benign vs hidden-
+  voice-command-style audio.
+"""
+
+from repro.baselines.temporal_dependency import TemporalDependencyDetector
+from repro.baselines.preprocessing import PreprocessingDetector
+from repro.baselines.hvc_logistic import HiddenVoiceCommandDetector
+
+__all__ = [
+    "TemporalDependencyDetector",
+    "PreprocessingDetector",
+    "HiddenVoiceCommandDetector",
+]

@@ -1,0 +1,58 @@
+"""Hidden-voice-command baseline (Carlini et al., 2016).
+
+The original defence trains a logistic regression to separate normal speech
+from hidden voice commands (noise-like audio that ASRs accept but humans do
+not understand) using simple acoustic statistics.  It cannot detect modern
+audio AEs, whose waveforms remain speech-like — which is the comparison the
+paper draws.  Features used here: RMS energy, zero-crossing rate, spectral
+centroid, spectral flatness and high-frequency energy ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.waveform import Waveform
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.scaler import StandardScaler
+
+_EPS = 1e-12
+
+
+def acoustic_statistics(audio: Waveform) -> np.ndarray:
+    """Five summary statistics of an audio clip."""
+    samples = audio.samples
+    if samples.size == 0:
+        return np.zeros(5)
+    rms = float(np.sqrt(np.mean(samples ** 2)))
+    zero_crossings = float(np.mean(np.abs(np.diff(np.sign(samples))) > 0))
+    spectrum = np.abs(np.fft.rfft(samples)) ** 2
+    freqs = np.fft.rfftfreq(samples.size, d=1.0 / audio.sample_rate)
+    total = spectrum.sum() + _EPS
+    centroid = float((freqs * spectrum).sum() / total)
+    flatness = float(np.exp(np.mean(np.log(spectrum + _EPS))) / (spectrum.mean() + _EPS))
+    high_ratio = float(spectrum[freqs > 4000].sum() / total)
+    return np.array([rms, zero_crossings, centroid / 8000.0, flatness, high_ratio])
+
+
+class HiddenVoiceCommandDetector:
+    """Logistic regression over acoustic statistics."""
+
+    def __init__(self):
+        self.classifier = LogisticRegressionClassifier()
+        self.scaler = StandardScaler()
+        self._fitted = False
+
+    def fit(self, audios: list[Waveform], labels: np.ndarray) -> "HiddenVoiceCommandDetector":
+        """Train on labelled audio (1 = attack, 0 = benign)."""
+        features = np.array([acoustic_statistics(audio) for audio in audios])
+        self.classifier.fit(self.scaler.fit_transform(features), np.asarray(labels))
+        self._fitted = True
+        return self
+
+    def predict(self, audios: list[Waveform]) -> np.ndarray:
+        """Predicted labels for a batch of audio clips."""
+        if not self._fitted:
+            raise RuntimeError("detector has not been trained; call fit() first")
+        features = np.array([acoustic_statistics(audio) for audio in audios])
+        return self.classifier.predict(self.scaler.transform(features))

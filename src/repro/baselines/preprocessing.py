@@ -1,0 +1,55 @@
+"""Pre-processing baseline (Rajaratnam et al., 2018).
+
+Detects AEs by transcribing both the original audio and a pre-processed
+copy (low-pass smoothing and amplitude quantisation) with the same ASR: an
+adversarial perturbation is brittle, so pre-processing changes the
+transcription of an AE much more than that of benign audio.  The paper
+points out that an attacker who knows the pre-processing can fold it into
+AE generation, which is why MVP-EARS relies on model diversity instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asr.base import ASRSystem
+from repro.audio.waveform import Waveform
+from repro.similarity.scorer import SimilarityScorer, get_scorer
+
+
+def smooth_and_quantize(samples: np.ndarray, kernel_size: int = 5,
+                        levels: int = 256) -> np.ndarray:
+    """Moving-average smoothing followed by amplitude quantisation."""
+    if kernel_size < 1:
+        raise ValueError("kernel_size must be >= 1")
+    if levels < 2:
+        raise ValueError("levels must be >= 2")
+    kernel = np.ones(kernel_size) / kernel_size
+    smoothed = np.convolve(samples, kernel, mode="same")
+    step = 2.0 / (levels - 1)
+    return np.round(smoothed / step) * step
+
+
+class PreprocessingDetector:
+    """Detects AEs via transcription drift under input transformations."""
+
+    def __init__(self, asr: ASRSystem, threshold: float = 0.7,
+                 kernel_size: int = 5, levels: int = 256,
+                 scorer: SimilarityScorer | None = None):
+        self.asr = asr
+        self.threshold = threshold
+        self.kernel_size = kernel_size
+        self.levels = levels
+        self.scorer = scorer or get_scorer()
+
+    def drift_score(self, audio: Waveform) -> float:
+        """Similarity between original and pre-processed transcriptions."""
+        original_text = self.asr.transcribe(audio).text
+        processed = audio.with_samples(
+            smooth_and_quantize(audio.samples, self.kernel_size, self.levels))
+        processed_text = self.asr.transcribe(processed).text
+        return self.scorer.score(original_text, processed_text)
+
+    def is_adversarial(self, audio: Waveform) -> bool:
+        """True when pre-processing changes the transcription substantially."""
+        return self.drift_score(audio) < self.threshold

@@ -1,0 +1,53 @@
+"""Temporal-dependency baseline (Yang et al., 2018).
+
+The hypothesis: adversarial perturbations rely on the whole audio to resolve
+temporal dependencies, so transcribing the two halves separately and
+splicing the results yields text very different from the whole-audio
+transcription for AEs but similar text for benign audio.  The paper notes
+this defence can be evaded by adaptive attacks that embed the command in a
+single half; the :meth:`adaptive_attack_section` helper exposes the
+single-section transcription so that weakness can be demonstrated.
+"""
+
+from __future__ import annotations
+
+from repro.asr.base import ASRSystem
+from repro.audio.waveform import Waveform
+from repro.similarity.scorer import SimilarityScorer, get_scorer
+
+
+class TemporalDependencyDetector:
+    """Detects AEs by comparing whole vs spliced-half transcriptions."""
+
+    def __init__(self, asr: ASRSystem, threshold: float = 0.7,
+                 scorer: SimilarityScorer | None = None):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.asr = asr
+        self.threshold = threshold
+        self.scorer = scorer or get_scorer()
+
+    def consistency_score(self, audio: Waveform) -> float:
+        """Similarity between the whole transcription and the spliced halves."""
+        whole = self.asr.transcribe(audio).text
+        midpoint = len(audio) // 2
+        first = audio.with_samples(audio.samples[:midpoint])
+        second = audio.with_samples(audio.samples[midpoint:])
+        spliced = " ".join(part for part in (self.asr.transcribe(first).text,
+                                             self.asr.transcribe(second).text) if part)
+        return self.scorer.score(whole, spliced)
+
+    def is_adversarial(self, audio: Waveform) -> bool:
+        """True when the spliced transcription diverges from the whole one."""
+        return self.consistency_score(audio) < self.threshold
+
+    def adaptive_attack_section(self, audio: Waveform) -> str:
+        """Transcription of the first half only.
+
+        An adaptive attacker embeds the whole command into one section; the
+        command then survives the splicing check, which is the evasion the
+        paper cites when arguing for MVP-EARS instead.
+        """
+        midpoint = len(audio) // 2
+        first = audio.with_samples(audio.samples[:midpoint])
+        return self.asr.transcribe(first).text

@@ -1,0 +1,128 @@
+"""Global configuration for the MVP-EARS reproduction.
+
+The paper's evaluation uses 2400 benign samples, 1800 white-box AEs and 600
+black-box AEs.  Generating adversarial examples is the expensive step of the
+pipeline, so this module defines *scale presets* that shrink the dataset
+sizes while preserving the score distributions that drive every downstream
+result.  All experiment entry points accept a :class:`ReproScale` so the
+full paper scale can be requested explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+#: Default random seed used across the library.  The paper fixes the Random
+#: Forest seed at 200; we reuse that value as the global default so every
+#: experiment is reproducible end to end.
+DEFAULT_SEED = 200
+
+#: Sample rate used by the audio substrate (Hz).  LibriSpeech audio is
+#: 16 kHz, and both attack papers operate at 16 kHz.
+SAMPLE_RATE = 16_000
+
+
+@dataclass(frozen=True)
+class ReproScale:
+    """Dataset sizes for one evaluation run.
+
+    Attributes mirror Table II of the paper: the benign dataset, the
+    white-box AE dataset and the black-box AE dataset.
+    """
+
+    name: str
+    n_benign: int
+    n_whitebox: int
+    n_blackbox: int
+    #: number of non-targeted (noise) AEs for the Section V-J experiment.
+    n_nontargeted: int = 24
+    #: number of hypothetical MAE AEs per type (paper: 2400).
+    n_mae_per_type: int = 200
+
+    @property
+    def n_adversarial(self) -> int:
+        """Total number of real (audio) adversarial examples."""
+        return self.n_whitebox + self.n_blackbox
+
+    def scaled(self, factor: float) -> "ReproScale":
+        """Return a copy with every dataset size multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            name=f"{self.name}*{factor:g}",
+            n_benign=max(4, int(self.n_benign * factor)),
+            n_whitebox=max(3, int(self.n_whitebox * factor)),
+            n_blackbox=max(1, int(self.n_blackbox * factor)),
+            n_nontargeted=max(2, int(self.n_nontargeted * factor)),
+            n_mae_per_type=max(8, int(self.n_mae_per_type * factor)),
+        )
+
+
+#: Tiny preset used by unit tests: fast enough for CI, still exercises every
+#: code path.
+TINY = ReproScale(name="tiny", n_benign=16, n_whitebox=8, n_blackbox=4,
+                  n_nontargeted=6, n_mae_per_type=32)
+
+#: Small preset used by the benchmark harness by default.
+SMALL = ReproScale(name="small", n_benign=96, n_whitebox=48, n_blackbox=16,
+                   n_nontargeted=16, n_mae_per_type=120)
+
+#: Medium preset: a compromise for longer runs.
+MEDIUM = ReproScale(name="medium", n_benign=320, n_whitebox=160,
+                    n_blackbox=48, n_nontargeted=32, n_mae_per_type=400)
+
+#: The paper's full scale (Table II).  Only practical with long wall-clock
+#: budgets; attack generation dominates.
+PAPER = ReproScale(name="paper", n_benign=2400, n_whitebox=1800,
+                   n_blackbox=600, n_nontargeted=118, n_mae_per_type=2400)
+
+_PRESETS = {p.name: p for p in (TINY, SMALL, MEDIUM, PAPER)}
+
+
+def get_scale(name: str | None = None) -> ReproScale:
+    """Resolve a scale preset.
+
+    Resolution order: explicit ``name`` argument, the ``REPRO_SCALE``
+    environment variable, then the ``small`` preset.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale preset {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+
+
+def cache_dir() -> str:
+    """Directory used for caching generated datasets.
+
+    Defaults to ``.repro_cache`` under the current working directory and can
+    be overridden with the ``REPRO_CACHE_DIR`` environment variable.
+    """
+    return os.environ.get("REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache"))
+
+
+@dataclass
+class RuntimeConfig:
+    """Mutable runtime options shared across the library."""
+
+    seed: int = DEFAULT_SEED
+    sample_rate: int = SAMPLE_RATE
+    #: When True, cloud-style ASRs (Google / Amazon simulators) add a small
+    #: artificial latency to mimic network round trips.  Disabled by default
+    #: so tests and benchmarks stay fast.
+    simulate_cloud_latency: bool = False
+    #: Extra keyword overrides applied when datasets are generated.
+    dataset_overrides: dict = field(default_factory=dict)
+
+
+_runtime = RuntimeConfig()
+
+
+def runtime() -> RuntimeConfig:
+    """Return the process-wide :class:`RuntimeConfig` instance."""
+    return _runtime

@@ -1,0 +1,145 @@
+"""The MVP-EARS detector (Figure 3 of the paper).
+
+A detector is a target ASR, a set of auxiliary ASRs, a similarity scorer
+and a binary classifier.  Given an audio clip, every ASR transcribes it in
+parallel (conceptually — here sequentially), one similarity score per
+auxiliary is computed between the target transcription and that auxiliary's
+transcription, and the score vector is classified as benign or adversarial.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.asr.base import ASRSystem
+from repro.audio.waveform import Waveform
+from repro.core.features import score_vector, score_vectors
+from repro.ml.base import BinaryClassifier
+from repro.ml.metrics import ClassificationReport, classification_report
+from repro.ml.registry import build_classifier
+from repro.similarity.scorer import SimilarityScorer, get_scorer
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of detecting one audio clip.
+
+    Attributes:
+        is_adversarial: the detector's verdict.
+        scores: the per-auxiliary similarity scores.
+        target_transcription: what the target ASR heard.
+        auxiliary_transcriptions: what each auxiliary ASR heard.
+        elapsed_seconds: end-to-end detection time, split into the three
+            components measured by the paper's overhead experiment.
+        timing: dict with ``recognition``, ``similarity`` and
+            ``classification`` wall-clock seconds.
+    """
+
+    is_adversarial: bool
+    scores: np.ndarray
+    target_transcription: str
+    auxiliary_transcriptions: dict[str, str]
+    elapsed_seconds: float
+    timing: dict = field(default_factory=dict)
+
+
+class MVPEarsDetector:
+    """Multi-version-programming-inspired audio AE detector."""
+
+    def __init__(self, target_asr: ASRSystem, auxiliary_asrs: list[ASRSystem],
+                 classifier: BinaryClassifier | str = "SVM",
+                 scorer: SimilarityScorer | None = None):
+        if not auxiliary_asrs:
+            raise ValueError("at least one auxiliary ASR is required")
+        self.target_asr = target_asr
+        self.auxiliary_asrs = list(auxiliary_asrs)
+        self.classifier = (build_classifier(classifier)
+                           if isinstance(classifier, str) else classifier)
+        self.scorer = scorer or get_scorer()
+        self._fitted = False
+
+    # ----------------------------------------------------------- description
+    @property
+    def system_name(self) -> str:
+        """Name in the paper's ``Target+{Aux1, ...}`` notation."""
+        auxiliaries = ", ".join(asr.short_name for asr in self.auxiliary_asrs)
+        return f"{self.target_asr.short_name}+{{{auxiliaries}}}"
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the similarity-score feature vector."""
+        return len(self.auxiliary_asrs)
+
+    # ------------------------------------------------------------- training
+    def extract_features(self, audios: list[Waveform]) -> np.ndarray:
+        """Similarity-score feature matrix for a batch of audio clips."""
+        return score_vectors(audios, self.target_asr, self.auxiliary_asrs, self.scorer)
+
+    def fit(self, audios: list[Waveform], labels: np.ndarray) -> "MVPEarsDetector":
+        """Train the binary classifier on labelled audio clips."""
+        features = self.extract_features(audios)
+        return self.fit_features(features, labels)
+
+    def fit_features(self, features: np.ndarray, labels: np.ndarray) -> "MVPEarsDetector":
+        """Train the binary classifier on pre-computed score vectors."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected features with {self.n_features} columns, got {features.shape}")
+        self.classifier.fit(features, np.asarray(labels))
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------- inference
+    def detect(self, audio: Waveform) -> DetectionResult:
+        """Classify a single audio clip, reporting component timings."""
+        if not self._fitted:
+            raise RuntimeError("detector has not been trained; call fit() first")
+        start = time.perf_counter()
+        target_result = self.target_asr.transcribe(audio)
+        aux_results = {asr.short_name: asr.transcribe(audio)
+                       for asr in self.auxiliary_asrs}
+        recognition_end = time.perf_counter()
+        # Recognition overhead attributable to the detector is the extra time
+        # the slowest auxiliary adds beyond the target model, since in
+        # deployment all ASRs run in parallel.
+        aux_elapsed = max(result.elapsed_seconds for result in aux_results.values())
+        recognition_overhead = max(0.0, aux_elapsed - target_result.elapsed_seconds)
+
+        scores = np.array([
+            self.scorer.score(target_result.text, aux_results[asr.short_name].text)
+            for asr in self.auxiliary_asrs
+        ])
+        similarity_end = time.perf_counter()
+        verdict = bool(self.classifier.predict(scores[None, :])[0] == 1)
+        classification_end = time.perf_counter()
+
+        return DetectionResult(
+            is_adversarial=verdict,
+            scores=scores,
+            target_transcription=target_result.text,
+            auxiliary_transcriptions={name: result.text
+                                      for name, result in aux_results.items()},
+            elapsed_seconds=classification_end - start,
+            timing={
+                "recognition": recognition_end - start,
+                "recognition_overhead": recognition_overhead,
+                "similarity": similarity_end - recognition_end,
+                "classification": classification_end - similarity_end,
+            },
+        )
+
+    def predict_features(self, features: np.ndarray) -> np.ndarray:
+        """Predict labels for pre-computed score vectors."""
+        if not self._fitted:
+            raise RuntimeError("detector has not been trained; call fit() first")
+        return self.classifier.predict(np.asarray(features, dtype=np.float64))
+
+    def evaluate_features(self, features: np.ndarray,
+                          labels: np.ndarray) -> ClassificationReport:
+        """Accuracy / FPR / FNR report on pre-computed score vectors."""
+        predictions = self.predict_features(features)
+        return classification_report(np.asarray(labels), predictions)

@@ -1,0 +1,41 @@
+"""Similarity-score feature extraction.
+
+Turns an audio clip (or a batch of pre-computed transcriptions) into the
+similarity-score feature vector consumed by the binary classifiers: one
+score per auxiliary ASR, each comparing the target ASR's transcription with
+that auxiliary's transcription.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asr.base import ASRSystem
+from repro.audio.waveform import Waveform
+from repro.similarity.scorer import SimilarityScorer, get_scorer
+
+
+def score_vector(audio: Waveform, target_asr: ASRSystem,
+                 auxiliary_asrs: list[ASRSystem],
+                 scorer: SimilarityScorer | None = None) -> np.ndarray:
+    """Similarity-score feature vector of a single audio clip."""
+    scorer = scorer or get_scorer()
+    target_text = target_asr.transcribe(audio).text
+    scores = [scorer.score(target_text, aux.transcribe(audio).text)
+              for aux in auxiliary_asrs]
+    return np.array(scores, dtype=np.float64)
+
+
+def score_vectors(audios: list[Waveform], target_asr: ASRSystem,
+                  auxiliary_asrs: list[ASRSystem],
+                  scorer: SimilarityScorer | None = None) -> np.ndarray:
+    """Similarity-score feature matrix of a batch of audio clips."""
+    return np.array([score_vector(audio, target_asr, auxiliary_asrs, scorer)
+                     for audio in audios])
+
+
+def scores_from_transcriptions(target_text: str, auxiliary_texts: list[str],
+                               scorer: SimilarityScorer | None = None) -> np.ndarray:
+    """Feature vector from already-computed transcriptions."""
+    scorer = scorer or get_scorer()
+    return np.array([scorer.score(target_text, text) for text in auxiliary_texts])

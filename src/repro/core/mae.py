@@ -1,0 +1,104 @@
+"""Hypothetical multiple-ASR-effective (MAE) AEs in score space.
+
+Section V-H of the paper: no method exists for generating audio AEs that
+fool several heterogeneous ASRs at once, but such AEs may appear in the
+future.  The detector is not trained on audio, only on similarity-score
+vectors — so a hypothetical transferable AE can be *synthesised* as a score
+vector.  If an AE fools the target model and auxiliary ``A``, both models
+transcribe it as the attacker's command, so the score for ``A`` looks like
+that of a benign sample; auxiliaries it cannot fool contribute AE-like
+scores.
+
+Six MAE AE types are defined for the ``DS0+{DS1, GCS, AT}`` system
+(Table IX): Types 1-3 fool one auxiliary, Types 4-6 fool two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MaeAeType:
+    """One of the six hypothetical MAE AE types of Table IX."""
+
+    name: str
+    #: indices (into the auxiliary list) of the auxiliaries this AE fools.
+    fooled_auxiliaries: tuple[int, ...]
+
+    def label(self, auxiliary_names: tuple[str, ...] = ("DS1", "GCS", "AT")) -> str:
+        """Human-readable label, e.g. ``AE(DS0,DS1,GCS)``."""
+        fooled = ",".join(auxiliary_names[i] for i in self.fooled_auxiliaries)
+        return f"AE(DS0,{fooled})" if fooled else "AE(DS0)"
+
+
+#: The six MAE AE types of Table IX, for the three-auxiliary system
+#: DS0+{DS1, GCS, AT} with auxiliary order (DS1, GCS, AT).
+MAE_TYPES: dict[str, MaeAeType] = {
+    "Type-1": MaeAeType("Type-1", (0,)),        # fools DS0 and DS1
+    "Type-2": MaeAeType("Type-2", (1,)),        # fools DS0 and GCS
+    "Type-3": MaeAeType("Type-3", (2,)),        # fools DS0 and AT
+    "Type-4": MaeAeType("Type-4", (0, 1)),      # fools DS0, DS1 and GCS
+    "Type-5": MaeAeType("Type-5", (0, 2)),      # fools DS0, DS1 and AT
+    "Type-6": MaeAeType("Type-6", (1, 2)),      # fools DS0, GCS and AT
+}
+
+
+@dataclass
+class ScorePools:
+    """Pools of observed similarity scores used to synthesise MAE AEs.
+
+    ``benign`` (λBe in the paper) holds scores measured on benign samples;
+    ``adversarial`` (λAk) holds scores measured on real audio AEs.  Both are
+    flat 1-D arrays — the paper draws individual scores, not whole vectors.
+    """
+
+    benign: np.ndarray
+    adversarial: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.benign = np.asarray(self.benign, dtype=np.float64).ravel()
+        self.adversarial = np.asarray(self.adversarial, dtype=np.float64).ravel()
+        if self.benign.size == 0 or self.adversarial.size == 0:
+            raise ValueError("both score pools must be non-empty")
+
+
+def collect_score_pools(benign_features: np.ndarray,
+                        adversarial_features: np.ndarray) -> ScorePools:
+    """Build λBe / λAk pools from measured feature matrices."""
+    return ScorePools(benign=np.asarray(benign_features).ravel(),
+                      adversarial=np.asarray(adversarial_features).ravel())
+
+
+def synthesize_mae_features(mae_type: MaeAeType | str, pools: ScorePools,
+                            n_samples: int, n_auxiliaries: int = 3,
+                            rng: np.random.Generator | None = None,
+                            seed: int = 0) -> np.ndarray:
+    """Synthesise feature vectors for hypothetical MAE AEs.
+
+    For every auxiliary the AE fools, a score is drawn from the benign pool
+    (the two models agree on the attacker's command); for every auxiliary it
+    cannot fool, a score is drawn from the adversarial pool.
+
+    Args:
+        mae_type: one of :data:`MAE_TYPES` (or its name).
+        pools: observed benign / adversarial score pools.
+        n_samples: number of vectors to synthesise.
+        n_auxiliaries: dimensionality of the feature vectors.
+        rng: random generator (``seed`` is used when omitted).
+        seed: fallback seed.
+    """
+    if isinstance(mae_type, str):
+        mae_type = MAE_TYPES[mae_type]
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    if any(i >= n_auxiliaries for i in mae_type.fooled_auxiliaries):
+        raise ValueError("fooled auxiliary index out of range")
+    rng = rng or np.random.default_rng(seed)
+    features = np.empty((n_samples, n_auxiliaries))
+    for column in range(n_auxiliaries):
+        pool = pools.benign if column in mae_type.fooled_auxiliaries else pools.adversarial
+        features[:, column] = rng.choice(pool, size=n_samples, replace=True)
+    return features

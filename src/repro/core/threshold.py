@@ -1,0 +1,73 @@
+"""Threshold-based detector.
+
+Section V-G of the paper evaluates robustness against unseen attacks with a
+classifier-free detector: an audio is adversarial if its similarity score
+against any auxiliary falls below a threshold ``T``, where ``T`` is chosen
+on benign data so the false positive rate stays under a budget (5 % in the
+paper).  Varying ``T`` also produces the ROC curves of Figure 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ThresholdDetector:
+    """Flags an audio as adversarial when its minimum score is below T."""
+
+    def __init__(self, threshold: float | None = None):
+        self.threshold = threshold
+
+    # ------------------------------------------------------------- training
+    def fit_benign(self, benign_scores: np.ndarray,
+                   max_fpr: float = 0.05) -> "ThresholdDetector":
+        """Choose the largest threshold whose FPR on benign data is <= ``max_fpr``.
+
+        Args:
+            benign_scores: score vectors (or a 1-D array of scores) of benign
+                samples only — the detector never sees an AE during training,
+                which is the point of the unseen-attack experiment.
+            max_fpr: false-positive budget.
+        """
+        if not 0.0 <= max_fpr < 1.0:
+            raise ValueError("max_fpr must be in [0, 1)")
+        minima = self._minimum_scores(benign_scores)
+        if minima.size == 0:
+            raise ValueError("no benign scores supplied")
+        # FPR of threshold T = fraction of benign minima strictly below T.
+        candidates = np.unique(np.concatenate([[0.0], np.sort(minima), [1.0]]))
+        best = 0.0
+        for threshold in candidates:
+            fpr = float(np.mean(minima < threshold))
+            if fpr <= max_fpr and threshold >= best:
+                best = float(threshold)
+        self.threshold = best
+        return self
+
+    # ------------------------------------------------------------- inference
+    @staticmethod
+    def _minimum_scores(scores: np.ndarray) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim == 1:
+            return scores
+        if scores.ndim == 2:
+            return scores.min(axis=1)
+        raise ValueError("scores must be 1-D or 2-D")
+
+    def decision_scores(self, scores: np.ndarray) -> np.ndarray:
+        """Detector score per sample: larger means more adversarial."""
+        return -self._minimum_scores(scores)
+
+    def predict(self, scores: np.ndarray) -> np.ndarray:
+        """1 for adversarial (minimum score below threshold), else 0."""
+        if self.threshold is None:
+            raise RuntimeError("threshold has not been set; call fit_benign() first")
+        return (self._minimum_scores(scores) < self.threshold).astype(int)
+
+    def false_positive_rate(self, benign_scores: np.ndarray) -> float:
+        """FPR of the current threshold on benign score vectors."""
+        return float(np.mean(self.predict(benign_scores) == 1))
+
+    def defense_rate(self, adversarial_scores: np.ndarray) -> float:
+        """Fraction of adversarial samples detected."""
+        return float(np.mean(self.predict(adversarial_scores) == 1))

@@ -1,0 +1,31 @@
+"""Dataset builders (Table II of the paper).
+
+The evaluation uses a benign dataset (LibriSpeech-like sentences), a
+white-box AE dataset, a black-box AE dataset and a small non-targeted AE
+dataset.  Generating adversarial audio is expensive, so the builders cache
+their outputs on disk (``.repro_cache``) keyed by the scale preset.
+"""
+
+from repro.datasets.builder import (
+    DatasetBundle,
+    LabeledAudio,
+    build_benign_dataset,
+    build_blackbox_dataset,
+    build_nontargeted_dataset,
+    build_whitebox_dataset,
+    load_standard_bundle,
+)
+from repro.datasets.scores import ScoredDataset, compute_scored_dataset, load_scored_dataset
+
+__all__ = [
+    "DatasetBundle",
+    "LabeledAudio",
+    "build_benign_dataset",
+    "build_whitebox_dataset",
+    "build_blackbox_dataset",
+    "build_nontargeted_dataset",
+    "load_standard_bundle",
+    "ScoredDataset",
+    "compute_scored_dataset",
+    "load_scored_dataset",
+]

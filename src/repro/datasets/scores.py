@@ -1,0 +1,189 @@
+"""Pre-computed similarity-score datasets with disk caching.
+
+Every evaluation table is a function of the similarity-score feature
+vectors of the benign and adversarial samples under the four ASRs.  Those
+scores are expensive to compute (each sample is transcribed by every ASR),
+so this module computes them once per scale preset and caches the result
+both in memory and on disk under :func:`repro.config.cache_dir`.
+
+The cached artefact stores, for every sample: its label, its attack kind
+("benign", "whitebox-ae", "blackbox-ae", "nontargeted-ae"), the target
+ASR's transcription and each auxiliary ASR's transcription — enough to
+recompute the score vectors under any similarity method without touching
+audio again (which is exactly what the Table III experiment needs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.asr.registry import build_asr
+from repro.config import DEFAULT_SEED, ReproScale, cache_dir, get_scale
+from repro.core.features import scores_from_transcriptions
+from repro.datasets.builder import DatasetBundle, load_standard_bundle
+from repro.similarity.scorer import get_scorer
+
+#: Auxiliary ASR order used by every experiment (matches the paper).
+AUXILIARY_ORDER: tuple[str, ...] = ("DS1", "GCS", "AT")
+
+
+@dataclass
+class ScoredDataset:
+    """Transcriptions and similarity scores for one dataset bundle."""
+
+    #: per-sample label: 0 benign, 1 adversarial.
+    labels: np.ndarray
+    #: per-sample attack kind string.
+    kinds: list[str]
+    #: per-sample target-model transcription.
+    target_texts: list[str]
+    #: per-sample auxiliary transcriptions, keyed by auxiliary short name.
+    auxiliary_texts: dict[str, list[str]]
+    #: similarity method used for :attr:`scores`.
+    method: str = "PE_JaroWinkler"
+    #: per-sample score vectors in :data:`AUXILIARY_ORDER`, shape (n, 3).
+    scores: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
+
+    # ------------------------------------------------------------ selection
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    def mask_for(self, kinds: tuple[str, ...] | None = None) -> np.ndarray:
+        """Boolean mask selecting samples of the given kinds (None = all)."""
+        if kinds is None:
+            return np.ones(len(self), dtype=bool)
+        kind_array = np.array(self.kinds)
+        return np.isin(kind_array, kinds)
+
+    def features_for(self, auxiliaries: tuple[str, ...],
+                     kinds: tuple[str, ...] | None = None,
+                     method: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Score matrix and labels for a subsystem and sample subset.
+
+        Args:
+            auxiliaries: auxiliary short names defining the subsystem, e.g.
+                ``("DS1",)`` for DS0+{DS1} or ``("DS1", "GCS", "AT")``.
+            kinds: restrict to these attack kinds (None keeps every sample).
+            method: similarity method; defaults to the dataset's method and
+                recomputes scores from transcriptions when different.
+        """
+        mask = self.mask_for(kinds)
+        labels = self.labels[mask]
+        if method is None or method == self.method:
+            columns = [AUXILIARY_ORDER.index(name) for name in auxiliaries]
+            return self.scores[mask][:, columns], labels
+        scorer = get_scorer(method)
+        indices = np.where(mask)[0]
+        features = np.empty((indices.shape[0], len(auxiliaries)))
+        for row, index in enumerate(indices):
+            features[row] = scores_from_transcriptions(
+                self.target_texts[index],
+                [self.auxiliary_texts[name][index] for name in auxiliaries],
+                scorer)
+        return features, labels
+
+    def benign_features(self, auxiliaries: tuple[str, ...] = AUXILIARY_ORDER,
+                        method: str | None = None) -> np.ndarray:
+        """Score matrix of the benign samples only."""
+        return self.features_for(auxiliaries, ("benign",), method)[0]
+
+    def adversarial_features(self, auxiliaries: tuple[str, ...] = AUXILIARY_ORDER,
+                             kinds: tuple[str, ...] = ("whitebox-ae", "blackbox-ae"),
+                             method: str | None = None) -> np.ndarray:
+        """Score matrix of the (real audio) adversarial samples."""
+        return self.features_for(auxiliaries, kinds, method)[0]
+
+
+# --------------------------------------------------------------- computation
+
+
+def compute_scored_dataset(bundle: DatasetBundle,
+                           method: str = "PE_JaroWinkler",
+                           include_nontargeted: bool = True) -> ScoredDataset:
+    """Transcribe every sample with all four ASRs and compute scores."""
+    target_asr = build_asr("DS0")
+    auxiliaries = {name: build_asr(name) for name in AUXILIARY_ORDER}
+    scorer = get_scorer(method)
+
+    samples = list(bundle.all_samples)
+    if include_nontargeted:
+        samples += list(bundle.nontargeted)
+
+    labels = np.array([sample.label for sample in samples], dtype=int)
+    kinds = [sample.kind for sample in samples]
+    target_texts: list[str] = []
+    auxiliary_texts: dict[str, list[str]] = {name: [] for name in AUXILIARY_ORDER}
+    scores = np.empty((len(samples), len(AUXILIARY_ORDER)))
+    for row, sample in enumerate(samples):
+        target_text = target_asr.transcribe(sample.waveform).text
+        target_texts.append(target_text)
+        for column, name in enumerate(AUXILIARY_ORDER):
+            aux_text = auxiliaries[name].transcribe(sample.waveform).text
+            auxiliary_texts[name].append(aux_text)
+            scores[row, column] = scorer.score(target_text, aux_text)
+    return ScoredDataset(labels=labels, kinds=kinds, target_texts=target_texts,
+                         auxiliary_texts=auxiliary_texts, method=method,
+                         scores=scores)
+
+
+# -------------------------------------------------------------- disk caching
+
+
+def _cache_path(scale_name: str, seed: int) -> str:
+    return os.path.join(cache_dir(), f"scored_{scale_name}_{seed}.json")
+
+
+def _to_json(dataset: ScoredDataset) -> dict:
+    return {
+        "labels": dataset.labels.tolist(),
+        "kinds": dataset.kinds,
+        "target_texts": dataset.target_texts,
+        "auxiliary_texts": dataset.auxiliary_texts,
+        "method": dataset.method,
+        "scores": dataset.scores.tolist(),
+    }
+
+
+def _from_json(payload: dict) -> ScoredDataset:
+    return ScoredDataset(
+        labels=np.array(payload["labels"], dtype=int),
+        kinds=list(payload["kinds"]),
+        target_texts=list(payload["target_texts"]),
+        auxiliary_texts={k: list(v) for k, v in payload["auxiliary_texts"].items()},
+        method=payload["method"],
+        scores=np.array(payload["scores"], dtype=np.float64),
+    )
+
+
+_SCORED_CACHE: dict[tuple[str, int], ScoredDataset] = {}
+
+
+def load_scored_dataset(scale: ReproScale | str | None = None,
+                        seed: int = DEFAULT_SEED,
+                        use_disk_cache: bool = True) -> ScoredDataset:
+    """Load (from cache) or compute the scored dataset for a scale preset."""
+    if scale is None or isinstance(scale, str):
+        scale = get_scale(scale)
+    key = (scale.name, seed)
+    if key in _SCORED_CACHE:
+        return _SCORED_CACHE[key]
+
+    path = _cache_path(scale.name, seed)
+    if use_disk_cache and os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            dataset = _from_json(json.load(handle))
+        _SCORED_CACHE[key] = dataset
+        return dataset
+
+    bundle = load_standard_bundle(scale, seed)
+    dataset = compute_scored_dataset(bundle)
+    if use_disk_cache:
+        os.makedirs(cache_dir(), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_to_json(dataset), handle)
+    _SCORED_CACHE[key] = dataset
+    return dataset

@@ -1,0 +1,25 @@
+"""Discrete cosine transform matrix (type II, orthonormal)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=32)
+def dct_matrix(n_output: int, n_input: int) -> np.ndarray:
+    """Orthonormal DCT-II matrix of shape ``(n_output, n_input)``.
+
+    Applying this matrix to a log-mel energy vector yields MFCCs.
+    """
+    if n_output <= 0 or n_input <= 0:
+        raise ValueError("dct_matrix dimensions must be positive")
+    if n_output > n_input:
+        raise ValueError("cannot request more DCT coefficients than inputs")
+    k = np.arange(n_output)[:, None]
+    n = np.arange(n_input)[None, :]
+    matrix = np.cos(np.pi * k * (2 * n + 1) / (2 * n_input))
+    matrix *= np.sqrt(2.0 / n_input)
+    matrix[0] *= 1.0 / np.sqrt(2.0)
+    return matrix

@@ -1,0 +1,163 @@
+"""Feature extractor front ends used by the ASR simulators.
+
+Each ASR simulator owns a :class:`FeatureExtractor`.  The three concrete
+front ends (MFCC, log-mel, LPC envelope) differ in frame geometry and
+feature space, which is one of the diversity axes the MVP-inspired detector
+relies on: a perturbation crafted in one feature space does not line up with
+another system's analysis frames or filterbanks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.dsp.dct import dct_matrix
+from repro.dsp.framing import frame_signal
+from repro.dsp.lpc import lpc_cepstra, lpc_spectrum_features
+from repro.dsp.mel import mel_filterbank
+from repro.dsp.mfcc import MfccConfig, MfccExtractor
+from repro.dsp.windows import hamming_window, hann_window
+
+_EPS = 1e-8
+
+
+class FeatureExtractor(ABC):
+    """Turns a waveform into a ``(n_frames, feature_dim)`` matrix."""
+
+    #: samples per analysis frame
+    frame_length: int
+    #: samples between frame starts
+    hop_length: int
+
+    @property
+    @abstractmethod
+    def feature_dim(self) -> int:
+        """Dimensionality of one frame's feature vector."""
+
+    @abstractmethod
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        """Feature matrix of a waveform."""
+
+    def frames(self, samples: np.ndarray) -> np.ndarray:
+        """Analysis frames of a waveform (shared framing helper)."""
+        return frame_signal(samples, self.frame_length, self.hop_length)
+
+
+class MfccFeatureExtractor(FeatureExtractor):
+    """MFCC front end (DeepSpeech-style)."""
+
+    def __init__(self, config: MfccConfig | None = None):
+        self._mfcc = MfccExtractor(config)
+        self.frame_length = self._mfcc.config.frame_length
+        self.hop_length = self._mfcc.config.hop_length
+
+    @property
+    def config(self) -> MfccConfig:
+        return self._mfcc.config
+
+    @property
+    def mfcc_extractor(self) -> MfccExtractor:
+        """Underlying extractor (exposed for the white-box attack tape)."""
+        return self._mfcc
+
+    @property
+    def feature_dim(self) -> int:
+        return self._mfcc.feature_dim
+
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        return self._mfcc.transform(samples)
+
+    def transform_frames(self, frames: np.ndarray) -> np.ndarray:
+        """MFCCs of pre-framed samples."""
+        return self._mfcc.transform_frames(frames)
+
+
+class LogMelFeatureExtractor(FeatureExtractor):
+    """Log-mel / mel-cepstrum front end (Google-Cloud-Speech-style).
+
+    With ``n_ceps`` unset the extractor returns per-frame-normalised log-mel
+    energies.  With ``n_ceps`` set it additionally applies a DCT, yielding a
+    mel-cepstrum whose filterbank size, window function and frame geometry
+    differ from the DeepSpeech MFCC configuration — a deliberately distinct
+    but equally robust front end.
+    """
+
+    def __init__(self, sample_rate: int = 16_000, frame_length: int = 512,
+                 hop_length: int = 256, n_fft: int = 512, n_mels: int = 32,
+                 f_min: float = 40.0, f_max: float | None = None,
+                 per_frame_normalization: bool = True,
+                 n_ceps: int | None = None):
+        if n_fft < frame_length:
+            raise ValueError("n_fft must be at least frame_length")
+        if n_ceps is not None and n_ceps > n_mels:
+            raise ValueError("n_ceps cannot exceed n_mels")
+        self.sample_rate = sample_rate
+        self.frame_length = frame_length
+        self.hop_length = hop_length
+        self.n_fft = n_fft
+        self.n_mels = n_mels
+        self.n_ceps = n_ceps
+        self.per_frame_normalization = per_frame_normalization
+        self._window = hann_window(frame_length)
+        self._filterbank = mel_filterbank(n_mels, n_fft, sample_rate, f_min, f_max)
+        self._dct = dct_matrix(n_ceps, n_mels) if n_ceps else None
+
+    @property
+    def feature_dim(self) -> int:
+        return self.n_ceps if self.n_ceps else self.n_mels
+
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        frames = self.frames(samples)
+        if frames.shape[0] == 0:
+            return np.zeros((0, self.feature_dim))
+        windowed = frames * self._window
+        spectrum = np.fft.rfft(windowed, n=self.n_fft, axis=-1)
+        power = spectrum.real ** 2 + spectrum.imag ** 2
+        mel = power @ self._filterbank.T
+        logmel = np.log(mel + _EPS)
+        if self.per_frame_normalization:
+            # Removing the per-frame mean discards overall gain and keeps
+            # spectral shape, mimicking the cepstral-mean normalisation real
+            # recognisers apply.
+            logmel = logmel - logmel.mean(axis=1, keepdims=True)
+        if self._dct is not None:
+            return logmel @ self._dct.T
+        return logmel
+
+
+class LpcFeatureExtractor(FeatureExtractor):
+    """LPC-based front end (Amazon-Transcribe-style).
+
+    Two feature styles are supported: ``"cepstrum"`` (LPC cepstral
+    coefficients, the classic LPCC features) and ``"envelope"`` (the log
+    spectral envelope sampled at ``n_bands`` frequencies).
+    """
+
+    def __init__(self, sample_rate: int = 16_000, frame_length: int = 480,
+                 hop_length: int = 240, order: int = 16, n_bands: int = 20,
+                 style: str = "cepstrum"):
+        if style not in {"cepstrum", "envelope"}:
+            raise ValueError("style must be 'cepstrum' or 'envelope'")
+        self.sample_rate = sample_rate
+        self.frame_length = frame_length
+        self.hop_length = hop_length
+        self.order = order
+        self.n_bands = n_bands
+        self.style = style
+        self._window = hamming_window(frame_length)
+
+    @property
+    def feature_dim(self) -> int:
+        # Cepstral features carry an extra log-energy column.
+        return self.n_bands if self.style == "envelope" else self.order + 1
+
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        frames = self.frames(samples)
+        if frames.shape[0] == 0:
+            return np.zeros((0, self.feature_dim))
+        windowed = frames * self._window
+        if self.style == "envelope":
+            return lpc_spectrum_features(windowed, self.order, self.n_bands)
+        return lpc_cepstra(windowed, self.order)

@@ -1,0 +1,122 @@
+"""Linear predictive coding features.
+
+The Amazon Transcribe simulator uses an LPC/PLP-flavoured front end so that
+its feature space differs from the MFCC/log-mel front ends of the other
+ASRs.  LPC coefficients are obtained via the autocorrelation method
+(Levinson-Durbin recursion, vectorised across frames) and converted into a
+smooth log spectral envelope sampled at a small number of bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-10
+
+
+def _batch_autocorrelation(frames: np.ndarray, order: int) -> np.ndarray:
+    """Autocorrelation lags 0..order for every frame (via the FFT)."""
+    n = frames.shape[1]
+    n_fft = 1
+    while n_fft < 2 * n:
+        n_fft *= 2
+    spectrum = np.fft.rfft(frames, n=n_fft, axis=1)
+    power = spectrum.real ** 2 + spectrum.imag ** 2
+    autocorr = np.fft.irfft(power, n=n_fft, axis=1)
+    return autocorr[:, : order + 1]
+
+
+def lpc_coefficients_batch(frames: np.ndarray, order: int) -> np.ndarray:
+    """LPC coefficients for every frame via Levinson-Durbin.
+
+    Returns an array of shape ``(n_frames, order)`` containing the
+    prediction coefficients (the leading 1 of the polynomial is omitted).
+    Near-silent frames produce zero coefficients.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 2:
+        raise ValueError("lpc_coefficients_batch expects (n_frames, frame_length)")
+    if order <= 0:
+        raise ValueError("order must be positive")
+    if frames.shape[1] <= order:
+        raise ValueError("frame shorter than LPC order")
+    n_frames = frames.shape[0]
+    autocorr = _batch_autocorrelation(frames, order)
+
+    coeffs = np.zeros((n_frames, order))
+    error = autocorr[:, 0].copy()
+    silent = error <= _EPS
+    error = np.maximum(error, _EPS)
+    for i in range(order):
+        if i == 0:
+            acc = autocorr[:, 1]
+        else:
+            acc = autocorr[:, i + 1] - np.einsum(
+                "fk,fk->f", coeffs[:, :i], autocorr[:, i:0:-1])
+        reflection = np.clip(acc / error, -0.999, 0.999)
+        new_coeffs = coeffs.copy()
+        new_coeffs[:, i] = reflection
+        if i > 0:
+            new_coeffs[:, :i] = coeffs[:, :i] - reflection[:, None] * coeffs[:, :i][:, ::-1]
+        coeffs = new_coeffs
+        error = np.maximum(error * (1.0 - reflection ** 2), _EPS)
+    coeffs[silent] = 0.0
+    return coeffs
+
+
+def lpc_coefficients(frame: np.ndarray, order: int) -> np.ndarray:
+    """LPC coefficients of a single frame (convenience wrapper)."""
+    frame = np.asarray(frame, dtype=np.float64)
+    if frame.ndim != 1:
+        raise ValueError("lpc_coefficients expects a single frame")
+    return lpc_coefficients_batch(frame[None, :], order)[0]
+
+
+def lpc_cepstra(frames: np.ndarray, order: int,
+                include_energy: bool = True) -> np.ndarray:
+    """LPC cepstral coefficients (LPCC) for every frame.
+
+    The cepstra are derived from the prediction coefficients with the
+    standard recursion ``c_n = a_n + sum_{k=1}^{n-1} (k/n) c_k a_{n-k}``.
+    With ``include_energy`` a log-energy term is appended as the last
+    column (needed to tell silence from speech).
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    coeffs = lpc_coefficients_batch(frames, order)      # (n_frames, order)
+    n_frames = coeffs.shape[0]
+    cepstra = np.zeros((n_frames, order))
+    for n in range(1, order + 1):
+        value = coeffs[:, n - 1].copy()
+        for k in range(1, n):
+            value += (k / n) * cepstra[:, k - 1] * coeffs[:, n - k - 1]
+        cepstra[:, n - 1] = value
+    if not include_energy:
+        return cepstra
+    energy = np.log(np.mean(frames ** 2, axis=1) + _EPS)[:, None]
+    return np.concatenate([cepstra, energy], axis=1)
+
+
+def lpc_spectrum_features(frames: np.ndarray, order: int, n_bands: int,
+                          per_frame_normalization: bool = True) -> np.ndarray:
+    """Log spectral envelope features from LPC analysis.
+
+    For each frame the LPC all-pole envelope ``1 / |A(e^{jw})|`` is sampled
+    at ``n_bands`` frequencies and log-compressed, yielding a compact PLP-
+    like feature vector.  With ``per_frame_normalization`` the per-frame
+    mean is removed so the features describe spectral shape, not gain.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 2:
+        raise ValueError("lpc_spectrum_features expects (n_frames, frame_length)")
+    if frames.shape[0] == 0:
+        return np.zeros((0, n_bands))
+    omegas = np.linspace(0.05 * np.pi, 0.95 * np.pi, n_bands)
+    k = np.arange(1, order + 1)
+    basis = np.exp(-1j * np.outer(omegas, k))          # (n_bands, order)
+    coeffs = lpc_coefficients_batch(frames, order)     # (n_frames, order)
+    denom = 1.0 - coeffs @ basis.T                     # (n_frames, n_bands)
+    envelope = 1.0 / np.maximum(np.abs(denom), 1e-6)
+    features = np.log(envelope + _EPS)
+    if per_frame_normalization:
+        features = features - features.mean(axis=1, keepdims=True)
+    return features

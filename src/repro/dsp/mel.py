@@ -1,0 +1,57 @@
+"""Mel scale conversions and triangular mel filterbanks."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+def hz_to_mel(hz):
+    """Convert frequency in Hz to mel (HTK formula)."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel):
+    """Convert mel values back to Hz."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+@lru_cache(maxsize=32)
+def mel_filterbank(n_filters: int, n_fft: int, sample_rate: int,
+                   f_min: float = 0.0, f_max: float | None = None) -> np.ndarray:
+    """Triangular mel filterbank matrix of shape ``(n_filters, n_fft // 2 + 1)``.
+
+    Args:
+        n_filters: number of triangular filters.
+        n_fft: FFT size used for the power spectrum.
+        sample_rate: sampling rate in Hz.
+        f_min: lowest band edge in Hz.
+        f_max: highest band edge in Hz (defaults to Nyquist).
+    """
+    if n_filters <= 0:
+        raise ValueError("n_filters must be positive")
+    if f_max is None:
+        f_max = sample_rate / 2.0
+    if not 0 <= f_min < f_max <= sample_rate / 2.0:
+        raise ValueError("require 0 <= f_min < f_max <= Nyquist")
+
+    n_bins = n_fft // 2 + 1
+    mel_points = np.linspace(hz_to_mel(f_min), hz_to_mel(f_max), n_filters + 2)
+    hz_points = mel_to_hz(mel_points)
+    bin_points = np.floor((n_fft + 1) * hz_points / sample_rate).astype(int)
+    bin_points = np.clip(bin_points, 0, n_bins - 1)
+
+    bank = np.zeros((n_filters, n_bins))
+    for i in range(n_filters):
+        left, center, right = bin_points[i], bin_points[i + 1], bin_points[i + 2]
+        if center == left:
+            center = min(left + 1, n_bins - 1)
+        if right == center:
+            right = min(center + 1, n_bins - 1)
+        for k in range(left, center):
+            bank[i, k] = (k - left) / max(1, center - left)
+        for k in range(center, right + 1):
+            bank[i, k] = (right - k) / max(1, right - center)
+        bank[i, center] = 1.0
+    return bank

@@ -1,0 +1,145 @@
+"""MFCC extraction with an analytic gradient back to the waveform.
+
+The white-box attack of Carlini & Wagner works by including the MFCC
+computation in the gradient chain of the optimisation ("adding the MFCC
+reconstruction layer into the backpropagation", Section II-B of the paper).
+:class:`MfccGradientTape` provides exactly that: it records the forward MFCC
+computation for a batch of frames and can push a gradient with respect to
+the MFCC matrix back to a gradient with respect to the raw samples.
+
+Forward pipeline per frame ``x`` of length ``frame_length``::
+
+    windowed = window * x
+    spectrum = rfft(windowed, n_fft)
+    power    = |spectrum|^2
+    mel      = filterbank @ power
+    logmel   = log(mel + eps)
+    mfcc     = dct @ logmel
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.dct import dct_matrix
+from repro.dsp.framing import frame_signal
+from repro.dsp.mel import mel_filterbank
+from repro.dsp.windows import hamming_window
+
+_EPS = 1e-8
+
+
+@dataclass(frozen=True)
+class MfccConfig:
+    """Configuration of an MFCC front end."""
+
+    sample_rate: int = 16_000
+    frame_length: int = 400
+    hop_length: int = 160
+    n_fft: int = 512
+    n_mels: int = 26
+    n_mfcc: int = 13
+    f_min: float = 20.0
+    f_max: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_fft < self.frame_length:
+            raise ValueError("n_fft must be at least frame_length")
+        if self.n_mfcc > self.n_mels:
+            raise ValueError("n_mfcc cannot exceed n_mels")
+
+
+class MfccExtractor:
+    """Computes MFCC feature matrices for waveforms."""
+
+    def __init__(self, config: MfccConfig | None = None):
+        self.config = config or MfccConfig()
+        cfg = self.config
+        self._window = hamming_window(cfg.frame_length)
+        self._filterbank = mel_filterbank(cfg.n_mels, cfg.n_fft, cfg.sample_rate,
+                                          cfg.f_min, cfg.f_max)
+        self._dct = dct_matrix(cfg.n_mfcc, cfg.n_mels)
+
+    @property
+    def feature_dim(self) -> int:
+        """Dimensionality of one feature vector."""
+        return self.config.n_mfcc
+
+    # ---------------------------------------------------------------- forward
+    def frames(self, samples: np.ndarray) -> np.ndarray:
+        """Slice a waveform into analysis frames."""
+        return frame_signal(samples, self.config.frame_length, self.config.hop_length)
+
+    def transform_frames(self, frames: np.ndarray) -> np.ndarray:
+        """MFCCs of pre-framed samples, shape ``(n_frames, n_mfcc)``."""
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ValueError("transform_frames expects (n_frames, frame_length)")
+        windowed = frames * self._window
+        spectrum = np.fft.rfft(windowed, n=self.config.n_fft, axis=-1)
+        power = spectrum.real ** 2 + spectrum.imag ** 2
+        mel = power @ self._filterbank.T
+        logmel = np.log(mel + _EPS)
+        return logmel @ self._dct.T
+
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        """MFCC matrix of a waveform, shape ``(n_frames, n_mfcc)``."""
+        return self.transform_frames(self.frames(samples))
+
+    # --------------------------------------------------------------- gradient
+    def forward_with_tape(self, frames: np.ndarray) -> "MfccGradientTape":
+        """Run the forward pass and keep intermediates for backprop."""
+        frames = np.asarray(frames, dtype=np.float64)
+        windowed = frames * self._window
+        spectrum = np.fft.rfft(windowed, n=self.config.n_fft, axis=-1)
+        power = spectrum.real ** 2 + spectrum.imag ** 2
+        mel = power @ self._filterbank.T
+        logmel = np.log(mel + _EPS)
+        mfcc = logmel @ self._dct.T
+        return MfccGradientTape(extractor=self, frames=frames, spectrum=spectrum,
+                                mel=mel, mfcc=mfcc)
+
+
+@dataclass
+class MfccGradientTape:
+    """Recorded forward pass of :class:`MfccExtractor` for a frame batch."""
+
+    extractor: MfccExtractor
+    frames: np.ndarray
+    spectrum: np.ndarray
+    mel: np.ndarray
+    mfcc: np.ndarray
+
+    def backward(self, grad_mfcc: np.ndarray) -> np.ndarray:
+        """Gradient of a scalar loss w.r.t. the frame samples.
+
+        Args:
+            grad_mfcc: gradient of the loss with respect to ``self.mfcc``
+                (same shape as the MFCC matrix).
+
+        Returns:
+            Array with the same shape as ``self.frames`` containing
+            ``dLoss/dframes``.
+        """
+        grad_mfcc = np.asarray(grad_mfcc, dtype=np.float64)
+        if grad_mfcc.shape != self.mfcc.shape:
+            raise ValueError("grad_mfcc shape mismatch")
+        ext = self.extractor
+        cfg = ext.config
+        # mfcc = logmel @ dct.T        => d logmel = grad @ dct
+        grad_logmel = grad_mfcc @ ext._dct
+        # logmel = log(mel + eps)      => d mel = d logmel / (mel + eps)
+        grad_mel = grad_logmel / (self.mel + _EPS)
+        # mel = power @ filterbank.T   => d power = d mel @ filterbank
+        grad_power = grad_mel @ ext._filterbank
+        # power_k = Re(X_k)^2 + Im(X_k)^2 with X = rfft(window * x, n_fft)
+        # dLoss/dx_n = 2 * w_n * Re( sum_k g_k conj(X_k) e^{-2 pi i k n / N} )
+        g = grad_power * np.conj(self.spectrum)
+        n_fft = cfg.n_fft
+        full = np.zeros((g.shape[0], n_fft), dtype=np.complex128)
+        full[:, : g.shape[1]] = g
+        time_domain = np.fft.fft(full, axis=-1)
+        grad_windowed = 2.0 * np.real(time_domain[:, : cfg.frame_length])
+        return grad_windowed * ext._window

@@ -1,0 +1,29 @@
+"""Analysis windows."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=64)
+def hamming_window(length: int) -> np.ndarray:
+    """Hamming window of ``length`` samples (cached)."""
+    if length <= 0:
+        raise ValueError("window length must be positive")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+@lru_cache(maxsize=64)
+def hann_window(length: int) -> np.ndarray:
+    """Hann window of ``length`` samples (cached)."""
+    if length <= 0:
+        raise ValueError("window length must be positive")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))

@@ -1,0 +1,60 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every experiment function takes a :class:`~repro.datasets.scores.ScoredDataset`
+(so the expensive audio work is shared and cached) and returns a plain
+result object with a ``to_table()`` method producing the rows the paper
+reports.  The benchmark suite under ``benchmarks/`` calls these functions.
+"""
+
+from repro.experiments.runner import ExperimentTable, format_table
+from repro.experiments.feasibility import (
+    run_table1_example,
+    run_table2_dataset_summary,
+    run_figure4_histograms,
+)
+from repro.experiments.similarity_methods import run_table3_similarity_methods
+from repro.experiments.single_aux import run_table4_single_auxiliary
+from repro.experiments.multi_aux import (
+    run_table5_multi_auxiliary,
+    run_table6_asr_count_impact,
+)
+from repro.experiments.unseen_attacks import (
+    run_table7_threshold_detector,
+    run_figure5_roc,
+    run_table8_cross_attack,
+)
+from repro.experiments.mae_aes import (
+    run_table10_mae_accuracy,
+    run_table11_cross_type_defense,
+    run_table12_comprehensive,
+)
+from repro.experiments.overhead import run_overhead_measurement
+from repro.experiments.nontargeted import run_nontargeted_detection
+from repro.experiments.transferability import run_transferability_study
+from repro.experiments.ablations import (
+    run_kaldi_auxiliary_ablation,
+    run_baseline_comparison,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "format_table",
+    "run_table1_example",
+    "run_table2_dataset_summary",
+    "run_figure4_histograms",
+    "run_table3_similarity_methods",
+    "run_table4_single_auxiliary",
+    "run_table5_multi_auxiliary",
+    "run_table6_asr_count_impact",
+    "run_table7_threshold_detector",
+    "run_figure5_roc",
+    "run_table8_cross_attack",
+    "run_table10_mae_accuracy",
+    "run_table11_cross_type_defense",
+    "run_table12_comprehensive",
+    "run_overhead_measurement",
+    "run_nontargeted_detection",
+    "run_transferability_study",
+    "run_kaldi_auxiliary_ablation",
+    "run_baseline_comparison",
+]

@@ -1,0 +1,125 @@
+"""Tables IX-XII: hypothetical multiple-ASR-effective (MAE) AEs.
+
+The six MAE AE types (Table IX) are synthesised in score space from the
+observed benign / adversarial score pools.  Table X trains and tests a
+detector per type; Table XI trains on one type and tests on every other
+(the defense-rate matrix); Table XII trains the comprehensive system on
+Types 4-6 and shows it defends the original AEs and Types 1-3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mae import (
+    MAE_TYPES,
+    ScorePools,
+    collect_score_pools,
+    synthesize_mae_features,
+)
+from repro.core.proactive import ComprehensiveDetector
+from repro.datasets.scores import ScoredDataset
+from repro.experiments.runner import ExperimentTable
+from repro.ml.metrics import classification_report, defense_rate
+from repro.ml.model_selection import train_test_split
+from repro.ml.registry import build_classifier
+
+
+def build_score_pools(dataset: ScoredDataset) -> ScorePools:
+    """λBe / λAk pools from the measured benign and AE score vectors."""
+    return collect_score_pools(dataset.benign_features(),
+                               dataset.adversarial_features())
+
+
+def run_table9_mae_types(dataset: ScoredDataset, n_per_type: int,
+                         seed: int = 23) -> dict[str, np.ndarray]:
+    """Synthesise every MAE AE type (Table IX) and return the feature sets."""
+    pools = build_score_pools(dataset)
+    rng = np.random.default_rng(seed)
+    return {name: synthesize_mae_features(mae_type, pools, n_per_type, rng=rng)
+            for name, mae_type in MAE_TYPES.items()}
+
+
+def run_table10_mae_accuracy(dataset: ScoredDataset, n_per_type: int = 400,
+                             seed: int = 23,
+                             classifier_name: str = "SVM") -> ExperimentTable:
+    """Per-type detection accuracy with an 80/20 split (Table X)."""
+    benign = dataset.benign_features()
+    mae_sets = run_table9_mae_types(dataset, n_per_type, seed)
+    rng = np.random.default_rng(seed)
+    table = ExperimentTable("Table X", "Detection of each MAE AE type")
+    for name, adversarial in mae_sets.items():
+        benign_idx = rng.choice(benign.shape[0], size=adversarial.shape[0], replace=True)
+        features = np.vstack([benign[benign_idx], adversarial])
+        labels = np.concatenate([np.zeros(adversarial.shape[0], dtype=int),
+                                 np.ones(adversarial.shape[0], dtype=int)])
+        train_x, test_x, train_y, test_y = train_test_split(features, labels,
+                                                            test_fraction=0.2, seed=seed)
+        classifier = build_classifier(classifier_name)
+        classifier.fit(train_x, train_y)
+        report = classification_report(test_y, classifier.predict(test_x))
+        table.add_row(mae_type=name, label=MAE_TYPES[name].label(),
+                      accuracy=report.accuracy, fpr=report.fpr, fnr=report.fnr)
+    return table
+
+
+def run_table11_cross_type_defense(dataset: ScoredDataset, n_per_type: int = 400,
+                                   seed: int = 23,
+                                   classifier_name: str = "SVM") -> ExperimentTable:
+    """Train on one AE type, test the defense rate on every other (Table XI)."""
+    benign = dataset.benign_features()
+    original = dataset.adversarial_features()
+    mae_sets = run_table9_mae_types(dataset, n_per_type, seed)
+    all_sets: dict[str, np.ndarray] = {"Original": original, **mae_sets}
+    rng = np.random.default_rng(seed)
+
+    table = ExperimentTable(
+        "Table XI", "Defense rates against unseen-attack MAE AEs (train rows, test columns)")
+    for train_name, train_set in all_sets.items():
+        benign_idx = rng.choice(benign.shape[0], size=train_set.shape[0], replace=True)
+        features = np.vstack([benign[benign_idx], train_set])
+        labels = np.concatenate([np.zeros(train_set.shape[0], dtype=int),
+                                 np.ones(train_set.shape[0], dtype=int)])
+        classifier = build_classifier(classifier_name)
+        classifier.fit(features, labels)
+        row = {"trained_on": train_name}
+        for test_name, test_set in all_sets.items():
+            if test_name == train_name:
+                row[test_name] = float("nan")
+                continue
+            predictions = classifier.predict(test_set)
+            row[test_name] = defense_rate(np.ones(test_set.shape[0], dtype=int), predictions)
+        table.add_row(**row)
+    return table
+
+
+def run_table12_comprehensive(dataset: ScoredDataset, n_per_type: int = 400,
+                              seed: int = 23,
+                              classifier_name: str = "SVM") -> ExperimentTable:
+    """The comprehensive proactive system (Table XII plus its test metrics)."""
+    pools = build_score_pools(dataset)
+    benign = dataset.benign_features()
+    detector = ComprehensiveDetector(classifier=classifier_name, seed=seed)
+    detector.fit(pools, benign, n_per_type=n_per_type)
+
+    mae_sets = run_table9_mae_types(dataset, n_per_type, seed + 1)
+    table = ExperimentTable(
+        "Table XII", "Defense rates of the comprehensive system")
+    table.add_row(unseen_attack="Original AEs",
+                  defense_rate=detector.defense_rate(dataset.adversarial_features()))
+    for name in ("Type-1", "Type-2", "Type-3"):
+        table.add_row(unseen_attack=MAE_TYPES[name].label(),
+                      defense_rate=detector.defense_rate(mae_sets[name]))
+
+    # Held-out accuracy on the training distribution (benign + Types 4-6).
+    rng = np.random.default_rng(seed + 2)
+    eval_adversarial = np.vstack([mae_sets[name] for name in ("Type-4", "Type-5", "Type-6")])
+    benign_idx = rng.choice(benign.shape[0], size=eval_adversarial.shape[0], replace=True)
+    eval_features = np.vstack([benign[benign_idx], eval_adversarial])
+    eval_labels = np.concatenate([np.zeros(eval_adversarial.shape[0], dtype=int),
+                                  np.ones(eval_adversarial.shape[0], dtype=int)])
+    report = detector.evaluate(eval_features, eval_labels)
+    table.add_row(unseen_attack="(test set: benign + Types 4-6)",
+                  defense_rate=float("nan"), accuracy=report.accuracy,
+                  fpr=report.fpr, fnr=report.fnr)
+    return table

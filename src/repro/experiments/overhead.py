@@ -1,0 +1,57 @@
+"""Section V-I: time overhead of the detection system.
+
+The paper measures the overhead of DS0+{DS1} (the cheapest deployable
+configuration, both models local): the extra recognition time caused by
+running the auxiliary model in parallel, the similarity-calculation time
+and the classification time — all negligible compared with the target
+model's own recognition time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asr.registry import build_asr
+from repro.core.detector import MVPEarsDetector
+from repro.datasets.builder import DatasetBundle
+from repro.datasets.scores import ScoredDataset
+from repro.experiments.runner import ExperimentTable
+
+
+def run_overhead_measurement(bundle: DatasetBundle, dataset: ScoredDataset,
+                             max_samples: int = 24,
+                             classifier_name: str = "SVM") -> ExperimentTable:
+    """Measure per-component detection overhead on DS0+{DS1}."""
+    target_asr = build_asr("DS0")
+    auxiliary = build_asr("DS1")
+    detector = MVPEarsDetector(target_asr, [auxiliary], classifier=classifier_name)
+    features, labels = dataset.features_for(("DS1",))
+    detector.fit_features(features, labels)
+
+    samples = (bundle.benign + bundle.adversarial)[:max_samples]
+    recognition_times = []
+    overhead_times = []
+    similarity_times = []
+    classification_times = []
+    for sample in samples:
+        result = detector.detect(sample.waveform)
+        recognition_times.append(result.timing["recognition"])
+        overhead_times.append(result.timing["recognition_overhead"])
+        similarity_times.append(result.timing["similarity"])
+        classification_times.append(result.timing["classification"])
+
+    target_only = float(np.mean([target_asr.transcribe(s.waveform).elapsed_seconds
+                                 for s in samples]))
+    table = ExperimentTable("Overhead", "Detection time overhead on DS0+{DS1}")
+    table.add_row(component="target recognition (baseline)",
+                  mean_seconds=target_only, relative_overhead=0.0)
+    table.add_row(component="parallel recognition overhead",
+                  mean_seconds=float(np.mean(overhead_times)),
+                  relative_overhead=float(np.mean(overhead_times) / max(target_only, 1e-9)))
+    table.add_row(component="similarity calculation",
+                  mean_seconds=float(np.mean(similarity_times)),
+                  relative_overhead=float(np.mean(similarity_times) / max(target_only, 1e-9)))
+    table.add_row(component="classification",
+                  mean_seconds=float(np.mean(classification_times)),
+                  relative_overhead=float(np.mean(classification_times) / max(target_only, 1e-9)))
+    return table

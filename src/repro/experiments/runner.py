@@ -1,0 +1,54 @@
+"""Shared experiment result containers and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of result rows (list of dicts with common keys)."""
+
+    name: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        """Append a result row."""
+        self.rows.append(values)
+
+    def column(self, key: str) -> list:
+        """Values of one column across all rows."""
+        return [row.get(key) for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        return format_table(self.rows, title=f"{self.name} — {self.description}")
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return self.to_markdown()
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Render a list of dict rows as a markdown table."""
+    if not rows:
+        return f"## {title}\n(no rows)\n" if title else "(no rows)\n"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = []
+    if title:
+        lines.append(f"## {title}")
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_value(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,103 @@
+"""Tables VII, VIII and Figure 5: robustness against unseen attack methods.
+
+* Table VII / Figure 5: the single-auxiliary systems are equipped with a
+  threshold detector trained on benign data only (threshold chosen so the
+  FPR stays below 5 %) and tested against all AEs; varying the threshold
+  yields ROC curves with AUC close to 1.
+* Table VIII: multi-auxiliary systems are trained on AEs from one attack
+  family (white-box or black-box) and tested on the other, measuring the
+  defense rate against the unseen family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.threshold import ThresholdDetector
+from repro.datasets.scores import ScoredDataset
+from repro.experiments.multi_aux import MULTI_AUX_SYSTEMS
+from repro.experiments.runner import ExperimentTable
+from repro.experiments.single_aux import SINGLE_AUX_SYSTEMS
+from repro.ml.metrics import auc as compute_auc
+from repro.ml.metrics import defense_rate, roc_curve
+from repro.ml.registry import build_classifier
+
+
+def run_table7_threshold_detector(dataset: ScoredDataset,
+                                  max_fpr: float = 0.05) -> ExperimentTable:
+    """Threshold detector trained on benign data, tested on all AEs."""
+    table = ExperimentTable(
+        "Table VII", "Detection of unseen-attack AEs by single-auxiliary systems")
+    for auxiliaries in SINGLE_AUX_SYSTEMS:
+        benign = dataset.benign_features(auxiliaries)
+        adversarial = dataset.adversarial_features(auxiliaries)
+        detector = ThresholdDetector().fit_benign(benign, max_fpr=max_fpr)
+        table.add_row(
+            system="DS0+{" + ", ".join(auxiliaries) + "}",
+            threshold=float(detector.threshold),
+            fpr=detector.false_positive_rate(benign),
+            false_negatives=int(np.sum(detector.predict(adversarial) == 0)),
+            fnr=float(np.mean(detector.predict(adversarial) == 0)),
+            defense_rate=detector.defense_rate(adversarial),
+        )
+    return table
+
+
+@dataclass
+class RocResult:
+    """ROC curve of one single-auxiliary system (Figure 5)."""
+
+    system: str
+    fpr: np.ndarray
+    tpr: np.ndarray
+    thresholds: np.ndarray
+    auc: float
+
+
+def run_figure5_roc(dataset: ScoredDataset) -> list[RocResult]:
+    """ROC curves of the three single-auxiliary threshold detectors."""
+    results = []
+    for auxiliaries in SINGLE_AUX_SYSTEMS:
+        benign = dataset.benign_features(auxiliaries)
+        adversarial = dataset.adversarial_features(auxiliaries)
+        detector = ThresholdDetector(threshold=0.5)
+        scores = np.concatenate([detector.decision_scores(benign),
+                                 detector.decision_scores(adversarial)])
+        labels = np.concatenate([np.zeros(benign.shape[0], dtype=int),
+                                 np.ones(adversarial.shape[0], dtype=int)])
+        fpr, tpr, thresholds = roc_curve(labels, scores)
+        results.append(RocResult(
+            system="DS0+{" + ", ".join(auxiliaries) + "}",
+            fpr=fpr, tpr=tpr, thresholds=thresholds,
+            auc=compute_auc(fpr, tpr)))
+    return results
+
+
+def run_table8_cross_attack(dataset: ScoredDataset, seed: int = 19,
+                            classifier_name: str = "SVM") -> ExperimentTable:
+    """Train on one attack family, test the defense rate on the other."""
+    rng = np.random.default_rng(seed)
+    table = ExperimentTable(
+        "Table VIII", "Defense rates of multi-auxiliary systems against unseen attacks")
+    for auxiliaries in MULTI_AUX_SYSTEMS:
+        benign = dataset.benign_features(auxiliaries)
+        whitebox, _ = dataset.features_for(auxiliaries, ("whitebox-ae",))
+        blackbox, _ = dataset.features_for(auxiliaries, ("blackbox-ae",))
+        row = {"system": "DS0+{" + ", ".join(auxiliaries) + "}"}
+        for train_kind, train_set, test_set, column in (
+                ("white-box", whitebox, blackbox, "defense_rate_blackbox"),
+                ("black-box", blackbox, whitebox, "defense_rate_whitebox")):
+            n_benign = min(benign.shape[0], max(1, train_set.shape[0]))
+            benign_idx = rng.choice(benign.shape[0], size=n_benign, replace=False)
+            train_features = np.vstack([benign[benign_idx], train_set])
+            train_labels = np.concatenate([np.zeros(n_benign, dtype=int),
+                                           np.ones(train_set.shape[0], dtype=int)])
+            classifier = build_classifier(classifier_name)
+            classifier.fit(train_features, train_labels)
+            predictions = classifier.predict(test_set)
+            row[column] = defense_rate(np.ones(test_set.shape[0], dtype=int), predictions)
+            del train_kind
+        table.add_row(**row)
+    return table

@@ -1,0 +1,52 @@
+"""From-scratch machine-learning components.
+
+The paper trains small binary classifiers (SVM with a 3-degree polynomial
+kernel, KNN with 10 neighbours, Random Forest seeded at 200) on 1-3
+dimensional similarity-score vectors.  scikit-learn is not available in
+this offline environment, so the classifiers, metrics and model-selection
+helpers are implemented here on top of numpy.
+"""
+
+from repro.ml.base import BinaryClassifier
+from repro.ml.svm import SVMClassifier, KernelSVMClassifier
+from repro.ml.knn import KNNClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.scaler import StandardScaler
+from repro.ml.metrics import (
+    ClassificationReport,
+    accuracy_score,
+    auc,
+    classification_report,
+    confusion_counts,
+    false_negative_rate,
+    false_positive_rate,
+    roc_curve,
+)
+from repro.ml.model_selection import KFold, cross_validate, train_test_split
+from repro.ml.registry import CLASSIFIER_NAMES, build_classifier
+
+__all__ = [
+    "BinaryClassifier",
+    "SVMClassifier",
+    "KernelSVMClassifier",
+    "KNNClassifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "LogisticRegressionClassifier",
+    "StandardScaler",
+    "ClassificationReport",
+    "accuracy_score",
+    "auc",
+    "classification_report",
+    "confusion_counts",
+    "false_negative_rate",
+    "false_positive_rate",
+    "roc_curve",
+    "KFold",
+    "cross_validate",
+    "train_test_split",
+    "CLASSIFIER_NAMES",
+    "build_classifier",
+]

@@ -1,0 +1,47 @@
+"""Base class of the binary classifiers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class BinaryClassifier(ABC):
+    """A binary classifier over real-valued feature vectors.
+
+    Labels are 0 (benign) and 1 (adversarial) throughout the library.
+    """
+
+    def _validate(self, features: np.ndarray,
+                  labels: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray | None]:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[:, None]
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if labels is None:
+            return features, None
+        labels = np.asarray(labels).astype(int).ravel()
+        if labels.shape[0] != features.shape[0]:
+            raise ValueError("features and labels have different lengths")
+        if not np.isin(labels, (0, 1)).all():
+            raise ValueError("labels must be 0 or 1")
+        return features, labels
+
+    @abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "BinaryClassifier":
+        """Train the classifier."""
+
+    @abstractmethod
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Real-valued score per sample (larger means more likely class 1)."""
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted labels (0 or 1) per sample."""
+        return (self.decision_function(features) > 0).astype(int)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on a labelled set."""
+        features, labels = self._validate(features, labels)
+        return float(np.mean(self.predict(features) == labels))

@@ -1,0 +1,51 @@
+"""Random forest classifier (the paper seeds it at 200)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BinaryClassifier):
+    """Bagged ensemble of decision trees with feature subsampling."""
+
+    def __init__(self, n_estimators: int = 60, max_depth: int = 8,
+                 min_samples_split: int = 4, seed: int = 200):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self._trees: list[DecisionTreeClassifier] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        features, labels = self._validate(features, labels)
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = features.shape
+        max_features = max(1, int(np.ceil(np.sqrt(n_features))))
+        self._trees = []
+        for index in range(self.n_estimators):
+            bootstrap = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=max_features,
+                seed=int(rng.integers(0, 2 ** 31 - 1)),
+            )
+            tree.fit(features[bootstrap], labels[bootstrap])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Mean class-1 probability across trees."""
+        if not self._trees:
+            raise RuntimeError("classifier has not been fitted")
+        features, _ = self._validate(features)
+        votes = np.stack([tree.predict_proba(features) for tree in self._trees])
+        return votes.mean(axis=0)
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features) - 0.5

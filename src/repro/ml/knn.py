@@ -1,0 +1,41 @@
+"""K-nearest-neighbour classifier (the paper uses 10 neighbours)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier
+
+
+class KNNClassifier(BinaryClassifier):
+    """Majority-vote KNN over Euclidean distance."""
+
+    def __init__(self, n_neighbors: int = 10):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self._train_features: np.ndarray | None = None
+        self._train_labels: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNNClassifier":
+        features, labels = self._validate(features, labels)
+        self._train_features = features
+        self._train_labels = labels
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Fraction of adversarial neighbours minus 0.5."""
+        if self._train_features is None:
+            raise RuntimeError("classifier has not been fitted")
+        features, _ = self._validate(features)
+        k = min(self.n_neighbors, self._train_features.shape[0])
+        # (n_test, n_train) squared distances, computed blockwise to bound memory.
+        scores = np.empty(features.shape[0])
+        block = 512
+        for start in range(0, features.shape[0], block):
+            chunk = features[start:start + block]
+            distances = ((chunk[:, None, :] - self._train_features[None, :, :]) ** 2).sum(axis=2)
+            neighbour_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            votes = self._train_labels[neighbour_idx].mean(axis=1)
+            scores[start:start + chunk.shape[0]] = votes - 0.5
+        return scores

@@ -1,0 +1,54 @@
+"""Logistic regression.
+
+Used as the classifier of the Hidden-Voice-Command detection baseline
+(Carlini et al., USENIX Security 2016), which the paper's related-work
+section contrasts with MVP-EARS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier
+
+
+class LogisticRegressionClassifier(BinaryClassifier):
+    """L2-regularised logistic regression trained by gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 300,
+                 regularization: float = 1e-4):
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.regularization = regularization
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegressionClassifier":
+        features, labels = self._validate(features, labels)
+        n_samples, n_features = features.shape
+        weights = np.zeros(n_features)
+        bias = 0.0
+        targets = labels.astype(float)
+        for epoch in range(1, self.epochs + 1):
+            logits = features @ weights + bias
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
+            error = probs - targets
+            grad_w = features.T @ error / n_samples + self.regularization * weights
+            grad_b = float(error.mean())
+            step = self.learning_rate / np.sqrt(epoch)
+            weights -= step * grad_w
+            bias -= step * grad_b
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of class 1 per sample."""
+        logits = self.decision_function(features)
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("classifier has not been fitted")
+        features, _ = self._validate(features)
+        return features @ self._weights + self._bias

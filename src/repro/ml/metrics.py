@@ -1,0 +1,131 @@
+"""Classification metrics: accuracy, FPR, FNR, ROC and AUC.
+
+The paper reports detection accuracy, false positive rate (benign flagged
+as AE), false negative rate (AE missed) and, for the threshold detector,
+ROC curves with AUC.  "Positive" throughout means "adversarial" (label 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(int).ravel()
+    y_pred = np.asarray(y_pred).astype(int).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    return y_true, y_pred
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, int]:
+    """True/false positive/negative counts."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return {
+        "tp": int(np.sum((y_true == 1) & (y_pred == 1))),
+        "tn": int(np.sum((y_true == 0) & (y_pred == 0))),
+        "fp": int(np.sum((y_true == 0) & (y_pred == 1))),
+        "fn": int(np.sum((y_true == 1) & (y_pred == 0))),
+    }
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if y_true.shape[0] == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def false_positive_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """FP / (FP + TN); 0 when there are no negatives."""
+    counts = confusion_counts(y_true, y_pred)
+    negatives = counts["fp"] + counts["tn"]
+    return counts["fp"] / negatives if negatives else 0.0
+
+
+def false_negative_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """FN / (FN + TP); 0 when there are no positives."""
+    counts = confusion_counts(y_true, y_pred)
+    positives = counts["fn"] + counts["tp"]
+    return counts["fn"] / positives if positives else 0.0
+
+
+def defense_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of adversarial samples that are detected (paper Section V-G)."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    positives = y_true == 1
+    if not positives.any():
+        return 0.0
+    return float(np.mean(y_pred[positives] == 1))
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Accuracy / FPR / FNR summary for one evaluation."""
+
+    accuracy: float
+    fpr: float
+    fnr: float
+    n_samples: int
+    n_positive: int
+    n_negative: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {"accuracy": self.accuracy, "fpr": self.fpr, "fnr": self.fnr}
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return (f"accuracy={self.accuracy:.4f} fpr={self.fpr:.4f} "
+                f"fnr={self.fnr:.4f} (n={self.n_samples})")
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationReport:
+    """Bundle accuracy, FPR and FNR into a report."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return ClassificationReport(
+        accuracy=accuracy_score(y_true, y_pred),
+        fpr=false_positive_rate(y_true, y_pred),
+        fnr=false_negative_rate(y_true, y_pred),
+        n_samples=int(y_true.shape[0]),
+        n_positive=int((y_true == 1).sum()),
+        n_negative=int((y_true == 0).sum()),
+    )
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve for a score where *larger* means *more adversarial*.
+
+    Returns ``(fpr, tpr, thresholds)`` with thresholds sorted descending,
+    matching the usual convention.
+    """
+    y_true = np.asarray(y_true).astype(int).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same shape")
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+
+    n_positive = max(1, int((y_true == 1).sum()))
+    n_negative = max(1, int((y_true == 0).sum()))
+    tp_cum = np.cumsum(sorted_true == 1)
+    fp_cum = np.cumsum(sorted_true == 0)
+
+    # Keep the last index of every distinct score value.
+    distinct = np.where(np.diff(sorted_scores, append=np.nan) != 0)[0]
+    tpr = np.concatenate([[0.0], tp_cum[distinct] / n_positive])
+    fpr = np.concatenate([[0.0], fp_cum[distinct] / n_negative])
+    thresholds = np.concatenate([[np.inf], sorted_scores[distinct]])
+    return fpr, tpr, thresholds
+
+
+def auc(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Area under a curve given by ``(fpr, tpr)`` points (trapezoid rule)."""
+    fpr = np.asarray(fpr, dtype=np.float64)
+    tpr = np.asarray(tpr, dtype=np.float64)
+    if fpr.shape != tpr.shape or fpr.ndim != 1:
+        raise ValueError("fpr and tpr must be 1-D arrays of equal length")
+    order = np.argsort(fpr, kind="stable")
+    return float(np.trapz(tpr[order], fpr[order]))

@@ -1,0 +1,136 @@
+"""Train/test splitting and k-fold cross validation.
+
+The paper evaluates classifiers with an 80/20 split (Table III) and with
+5-fold cross validation reporting mean and standard deviation (Tables IV
+and V); both protocols are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier
+from repro.ml.metrics import classification_report
+
+
+def train_test_split(features: np.ndarray, labels: np.ndarray,
+                     test_fraction: float = 0.2, seed: int = 0,
+                     stratify: bool = True) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split into train and test sets.
+
+    Returns ``(train_x, test_x, train_y, test_y)``.  With ``stratify`` the
+    class balance of the test set matches the full dataset.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels).astype(int).ravel()
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("features and labels have different lengths")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    test_mask = np.zeros(labels.shape[0], dtype=bool)
+    if stratify:
+        for value in np.unique(labels):
+            idx = np.where(labels == value)[0]
+            rng.shuffle(idx)
+            n_test = max(1, int(round(test_fraction * idx.shape[0])))
+            test_mask[idx[:n_test]] = True
+    else:
+        idx = rng.permutation(labels.shape[0])
+        n_test = max(1, int(round(test_fraction * labels.shape[0])))
+        test_mask[idx[:n_test]] = True
+    return (features[~test_mask], features[test_mask],
+            labels[~test_mask], labels[test_mask])
+
+
+class KFold:
+    """Stratified k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, labels: np.ndarray):
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        labels = np.asarray(labels).astype(int).ravel()
+        rng = np.random.default_rng(self.seed)
+        fold_of = np.empty(labels.shape[0], dtype=int)
+        for value in np.unique(labels):
+            idx = np.where(labels == value)[0]
+            rng.shuffle(idx)
+            fold_of[idx] = np.arange(idx.shape[0]) % self.n_splits
+        for fold in range(self.n_splits):
+            test_idx = np.where(fold_of == fold)[0]
+            train_idx = np.where(fold_of != fold)[0]
+            yield train_idx, test_idx
+
+
+@dataclass
+class CrossValidationResult:
+    """Mean/std of accuracy, FPR and FNR across folds."""
+
+    accuracies: list[float] = field(default_factory=list)
+    fprs: list[float] = field(default_factory=list)
+    fnrs: list[float] = field(default_factory=list)
+
+    @property
+    def accuracy_mean(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def accuracy_std(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def fpr_mean(self) -> float:
+        return float(np.mean(self.fprs))
+
+    @property
+    def fpr_std(self) -> float:
+        return float(np.std(self.fprs))
+
+    @property
+    def fnr_mean(self) -> float:
+        return float(np.mean(self.fnrs))
+
+    @property
+    def fnr_std(self) -> float:
+        return float(np.std(self.fnrs))
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of the mean/std statistics."""
+        return {
+            "accuracy_mean": self.accuracy_mean, "accuracy_std": self.accuracy_std,
+            "fpr_mean": self.fpr_mean, "fpr_std": self.fpr_std,
+            "fnr_mean": self.fnr_mean, "fnr_std": self.fnr_std,
+        }
+
+
+def cross_validate(make_classifier, features: np.ndarray, labels: np.ndarray,
+                   n_splits: int = 5, seed: int = 0) -> CrossValidationResult:
+    """K-fold cross validation of a classifier factory.
+
+    Args:
+        make_classifier: zero-argument callable returning an unfitted
+            :class:`~repro.ml.base.BinaryClassifier`.
+        features: feature matrix.
+        labels: binary labels.
+        n_splits: number of folds (the paper uses 5).
+        seed: fold assignment seed.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels).astype(int).ravel()
+    result = CrossValidationResult()
+    for train_idx, test_idx in KFold(n_splits=n_splits, seed=seed).split(labels):
+        classifier: BinaryClassifier = make_classifier()
+        classifier.fit(features[train_idx], labels[train_idx])
+        report = classification_report(labels[test_idx],
+                                       classifier.predict(features[test_idx]))
+        result.accuracies.append(report.accuracy)
+        result.fprs.append(report.fpr)
+        result.fnrs.append(report.fnr)
+    return result

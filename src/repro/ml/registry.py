@@ -1,0 +1,32 @@
+"""Classifier factory used by the experiments.
+
+The paper evaluates three binary classifiers with fixed configurations:
+SVM with a 3-degree polynomial kernel, KNN with 10 voting neighbours, and a
+Random Forest seeded with 200.
+"""
+
+from __future__ import annotations
+
+from repro.ml.base import BinaryClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNNClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.svm import KernelSVMClassifier, SVMClassifier
+
+#: The classifier names used across the evaluation tables.
+CLASSIFIER_NAMES: tuple[str, ...] = ("SVM", "KNN", "RandomForest")
+
+
+def build_classifier(name: str) -> BinaryClassifier:
+    """Build a fresh classifier configured as in the paper."""
+    if name == "SVM":
+        return SVMClassifier(degree=3)
+    if name == "KernelSVM":
+        return KernelSVMClassifier(degree=3)
+    if name == "KNN":
+        return KNNClassifier(n_neighbors=10)
+    if name == "RandomForest":
+        return RandomForestClassifier(seed=200)
+    if name == "LogisticRegression":
+        return LogisticRegressionClassifier()
+    raise KeyError(f"unknown classifier {name!r}")

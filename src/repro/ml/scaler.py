@@ -1,0 +1,32 @@
+"""Feature standardisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling fitted on training data."""
+
+    def __init__(self):
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[:, None]
+        self._mean = features.mean(axis=0)
+        self._scale = np.maximum(features.std(axis=0), 1e-12)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self._mean is None:
+            raise RuntimeError("scaler has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[:, None]
+        return (features - self._mean) / self._scale
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,107 @@
+"""CART-style decision tree used by the random forest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier
+
+
+@dataclass
+class _Node:
+    """Internal tree node (leaf when ``feature`` is None)."""
+
+    prediction: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.shape[0] == 0:
+        return 0.0
+    p = labels.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier(BinaryClassifier):
+    """Binary classification tree minimising Gini impurity."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 4,
+                 max_features: int | None = None, seed: int = 0):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+
+    # ------------------------------------------------------------ training
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features, labels = self._validate(features, labels)
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(features, labels.astype(float), 0, rng)
+        return self
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int,
+              rng: np.random.Generator) -> _Node:
+        prediction = float(labels.mean()) if labels.shape[0] else 0.0
+        if (depth >= self.max_depth or labels.shape[0] < self.min_samples_split
+                or prediction in (0.0, 1.0)):
+            return _Node(prediction=prediction)
+
+        n_features = features.shape[1]
+        if self.max_features is None:
+            candidates = np.arange(n_features)
+        else:
+            size = min(self.max_features, n_features)
+            candidates = rng.choice(n_features, size=size, replace=False)
+
+        best_gain = 0.0
+        best_feature = None
+        best_threshold = 0.0
+        parent_impurity = _gini(labels)
+        for feature in candidates:
+            values = features[:, feature]
+            thresholds = np.unique(values)
+            if thresholds.shape[0] > 16:
+                thresholds = np.quantile(values, np.linspace(0.05, 0.95, 16))
+            for threshold in thresholds:
+                mask = values <= threshold
+                left, right = labels[mask], labels[~mask]
+                if left.shape[0] == 0 or right.shape[0] == 0:
+                    continue
+                weighted = (left.shape[0] * _gini(left)
+                            + right.shape[0] * _gini(right)) / labels.shape[0]
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best_feature = int(feature)
+                    best_threshold = float(threshold)
+
+        if best_feature is None or best_gain <= 1e-12:
+            return _Node(prediction=prediction)
+        mask = features[:, best_feature] <= best_threshold
+        left = self._grow(features[mask], labels[mask], depth + 1, rng)
+        right = self._grow(features[~mask], labels[~mask], depth + 1, rng)
+        return _Node(prediction=prediction, feature=best_feature,
+                     threshold=best_threshold, left=left, right=right)
+
+    # ----------------------------------------------------------- inference
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of class 1 per sample."""
+        if self._root is None:
+            raise RuntimeError("classifier has not been fitted")
+        features, _ = self._validate(features)
+        return np.array([self._predict_one(row) for row in features])
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features) - 0.5

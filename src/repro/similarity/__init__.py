@@ -1,0 +1,35 @@
+"""Transcription similarity calculation.
+
+Implements the similarity-calculation component of the MVP-EARS pipeline:
+phonetic encodings (Soundex, Metaphone) and string similarity measures
+(Jaccard, cosine, Jaro, Jaro-Winkler, Levenshtein ratio), plus the six
+combined scorers compared in Table III of the paper.
+"""
+
+from repro.similarity.phonetic import soundex, metaphone, phonetic_encode
+from repro.similarity.string_metrics import (
+    cosine_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_ratio,
+)
+from repro.similarity.scorer import (
+    SIMILARITY_METHODS,
+    SimilarityScorer,
+    get_scorer,
+)
+
+__all__ = [
+    "soundex",
+    "metaphone",
+    "phonetic_encode",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_ratio",
+    "SIMILARITY_METHODS",
+    "SimilarityScorer",
+    "get_scorer",
+]

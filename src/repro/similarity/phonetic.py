@@ -1,0 +1,167 @@
+"""Phonetic encodings.
+
+The paper converts each transcription to a phonetic encoding before
+measuring similarity, so that different ASRs outputting different words
+with similar pronunciations ("there" / "their") still score as similar.
+Two classic algorithms are provided: Soundex and a simplified Metaphone.
+The default encoder used by the scorers is Metaphone, which preserves more
+phonetic detail than Soundex.
+"""
+
+from __future__ import annotations
+
+from repro.text.normalize import tokenize
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    **dict.fromkeys("l", "4"),
+    **dict.fromkeys("mn", "5"),
+    **dict.fromkeys("r", "6"),
+}
+
+_VOWELS = set("aeiou")
+
+
+def soundex(word: str) -> str:
+    """Four-character Soundex code of a single word."""
+    word = "".join(c for c in word.lower() if c.isalpha())
+    if not word:
+        return ""
+    first = word[0].upper()
+    encoded = []
+    previous = _SOUNDEX_CODES.get(word[0], "")
+    for letter in word[1:]:
+        code = _SOUNDEX_CODES.get(letter, "")
+        if code and code != previous:
+            encoded.append(code)
+        if letter not in "hw":
+            previous = code
+    return (first + "".join(encoded) + "000")[:4]
+
+
+def metaphone(word: str) -> str:
+    """Simplified Metaphone code of a single word.
+
+    This implementation covers the common English transformation rules
+    (silent letters, digraphs such as PH/TH/SH/CH, soft C/G, X → KS, ...).
+    It is intentionally compact: the goal is a stable pronunciation-oriented
+    key, not full linguistic fidelity.
+    """
+    word = "".join(c for c in word.lower() if c.isalpha())
+    if not word:
+        return ""
+
+    # Initial-letter exceptions.
+    if word.startswith(("kn", "gn", "pn", "ae", "wr")):
+        word = word[1:]
+    elif word.startswith("x"):
+        word = "s" + word[1:]
+    elif word.startswith("wh"):
+        word = "w" + word[2:]
+
+    result: list[str] = []
+    i = 0
+    length = len(word)
+    while i < length:
+        letter = word[i]
+        nxt = word[i + 1] if i + 1 < length else ""
+        prev = word[i - 1] if i > 0 else ""
+
+        # Skip duplicate adjacent letters (except C).
+        if letter == prev and letter != "c":
+            i += 1
+            continue
+
+        if letter in _VOWELS:
+            if i == 0:
+                result.append(letter.upper())
+        elif letter == "b":
+            if not (i == length - 1 and prev == "m"):
+                result.append("B")
+        elif letter == "c":
+            if nxt == "h":
+                result.append("X")
+                i += 1
+            elif nxt in {"i", "e", "y"}:
+                result.append("S")
+            else:
+                result.append("K")
+        elif letter == "d":
+            if nxt == "g" and i + 2 < length and word[i + 2] in {"e", "i", "y"}:
+                result.append("J")
+                i += 1
+            else:
+                result.append("T")
+        elif letter == "g":
+            if nxt == "h":
+                result.append("K")
+                i += 1
+            elif nxt in {"i", "e", "y"}:
+                result.append("J")
+            elif nxt == "n":
+                pass  # silent as in "sign"
+            else:
+                result.append("K")
+        elif letter == "h":
+            if prev in _VOWELS and nxt not in _VOWELS:
+                pass  # silent
+            elif prev in {"c", "s", "p", "t", "g"}:
+                pass  # handled by digraphs
+            else:
+                result.append("H")
+        elif letter == "k":
+            if prev != "c":
+                result.append("K")
+        elif letter == "p":
+            if nxt == "h":
+                result.append("F")
+                i += 1
+            else:
+                result.append("P")
+        elif letter == "q":
+            result.append("K")
+        elif letter == "s":
+            if nxt == "h":
+                result.append("X")
+                i += 1
+            elif nxt == "i" and i + 2 < length and word[i + 2] in {"o", "a"}:
+                result.append("X")
+            else:
+                result.append("S")
+        elif letter == "t":
+            if nxt == "h":
+                result.append("0")
+                i += 1
+            elif nxt == "i" and i + 2 < length and word[i + 2] in {"o", "a"}:
+                result.append("X")
+            else:
+                result.append("T")
+        elif letter == "v":
+            result.append("F")
+        elif letter == "w":
+            if nxt in _VOWELS:
+                result.append("W")
+        elif letter == "x":
+            result.append("KS")
+        elif letter == "y":
+            if nxt in _VOWELS:
+                result.append("Y")
+        elif letter == "z":
+            result.append("S")
+        elif letter in {"f", "j", "l", "m", "n", "r"}:
+            result.append(letter.upper())
+        i += 1
+    return "".join(result)
+
+
+def phonetic_encode(text: str, algorithm: str = "metaphone") -> str:
+    """Encode every word of ``text`` phonetically and join with spaces."""
+    if algorithm == "metaphone":
+        encoder = metaphone
+    elif algorithm == "soundex":
+        encoder = soundex
+    else:
+        raise ValueError(f"unknown phonetic algorithm {algorithm!r}")
+    return " ".join(encoder(word) for word in tokenize(text))

@@ -1,0 +1,86 @@
+"""Combined similarity scorers (Table III of the paper).
+
+A :class:`SimilarityScorer` turns a pair of transcriptions into a score in
+``[0, 1]``.  Six combinations are evaluated by the paper: {Cosine, Jaccard,
+JaroWinkler} × {raw text, phonetic encoding}.  ``PE_JaroWinkler`` — phonetic
+encoding followed by Jaro-Winkler — achieves the best accuracy and is the
+library default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.similarity.phonetic import phonetic_encode
+from repro.similarity.string_metrics import (
+    cosine_similarity,
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_ratio,
+)
+from repro.text.normalize import normalize_text
+
+_BASE_METRICS: dict[str, Callable[[str, str], float]] = {
+    "Cosine": cosine_similarity,
+    "Jaccard": jaccard_similarity,
+    "JaroWinkler": jaro_winkler_similarity,
+    "Levenshtein": levenshtein_ratio,
+}
+
+
+@dataclass(frozen=True)
+class SimilarityScorer:
+    """A (phonetic-encoding?, string-metric) combination."""
+
+    name: str
+    metric_name: str
+    use_phonetic_encoding: bool
+
+    def score(self, text_a: str, text_b: str) -> float:
+        """Similarity of two transcriptions, in ``[0, 1]``."""
+        metric = _BASE_METRICS[self.metric_name]
+        a = normalize_text(text_a)
+        b = normalize_text(text_b)
+        if self.use_phonetic_encoding:
+            a = phonetic_encode(a)
+            b = phonetic_encode(b)
+        value = metric(a, b)
+        return float(min(1.0, max(0.0, value)))
+
+    def __call__(self, text_a: str, text_b: str) -> float:
+        return self.score(text_a, text_b)
+
+
+def _build_methods() -> dict[str, SimilarityScorer]:
+    methods: dict[str, SimilarityScorer] = {}
+    for metric_name in ("Cosine", "Jaccard", "JaroWinkler"):
+        methods[metric_name] = SimilarityScorer(metric_name, metric_name, False)
+        methods[f"PE_{metric_name}"] = SimilarityScorer(
+            f"PE_{metric_name}", metric_name, True)
+    # Extra combinations available for ablations (not part of Table III).
+    methods["Levenshtein"] = SimilarityScorer("Levenshtein", "Levenshtein", False)
+    methods["PE_Levenshtein"] = SimilarityScorer("PE_Levenshtein", "Levenshtein", True)
+    return methods
+
+
+_METHODS = _build_methods()
+
+#: The six similarity calculation methods compared in Table III.
+SIMILARITY_METHODS: tuple[str, ...] = (
+    "Cosine", "Jaccard", "JaroWinkler",
+    "PE_Cosine", "PE_Jaccard", "PE_JaroWinkler",
+)
+
+#: The method the paper (and this library) adopts by default.
+DEFAULT_METHOD = "PE_JaroWinkler"
+
+
+def get_scorer(name: str = DEFAULT_METHOD) -> SimilarityScorer:
+    """Return the scorer registered under ``name``."""
+    try:
+        return _METHODS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown similarity method {name!r}; available: {sorted(_METHODS)}"
+        ) from None

@@ -1,0 +1,107 @@
+"""String similarity measures.
+
+All measures return a score in ``[0, 1]`` where 1 means identical.  The
+paper compares Jaccard, cosine and Jaro-Winkler (an edit-distance family
+measure); Levenshtein ratio is included for completeness and the ablation
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.text.metrics import edit_distance
+from repro.text.normalize import tokenize
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Jaccard index over the word sets of the two strings."""
+    set_a, set_b = set(tokenize(a)), set(tokenize(b))
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def cosine_similarity(a: str, b: str) -> float:
+    """Cosine similarity over word-count vectors."""
+    counts_a, counts_b = Counter(tokenize(a)), Counter(tokenize(b))
+    if not counts_a and not counts_b:
+        return 1.0
+    if not counts_a or not counts_b:
+        return 0.0
+    dot = sum(counts_a[w] * counts_b[w] for w in counts_a.keys() & counts_b.keys())
+    norm_a = math.sqrt(sum(v * v for v in counts_a.values()))
+    norm_b = math.sqrt(sum(v * v for v in counts_b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity between two strings (character level)."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    match_window = max(len_a, len_b) // 2 - 1
+    match_window = max(match_window, 0)
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+
+    matches = 0
+    for i, char in enumerate(a):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len_b)
+        for j in range(start, end):
+            if matched_b[j] or b[j] != char:
+                continue
+            matched_a[i] = True
+            matched_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if not matched_a[i]:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (matches / len_a + matches / len_b
+            + (matches - transpositions) / matches) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1,
+                            max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity (Jaro with a common-prefix bonus).
+
+    This is the measure the paper selects (combined with phonetic encoding)
+    because it yields the highest detection accuracy.
+    """
+    if not 0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25]")
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a[:max_prefix], b[:max_prefix]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def levenshtein_ratio(a: str, b: str) -> float:
+    """1 minus the normalised character edit distance."""
+    if not a and not b:
+        return 1.0
+    distance = edit_distance(a, b)
+    return 1.0 - distance / max(len(a), len(b))

@@ -1,0 +1,47 @@
+"""Text substrate: phonemes, pronunciation lexicon, corpora and metrics.
+
+The ASR simulators and the speech synthesiser share a common phonetic
+representation defined here.  The module also provides the sentence corpora
+used to stand in for LibriSpeech / CommonVoice and the attack command
+phrases, plus the word/character error-rate metrics used by the evaluation.
+"""
+
+from repro.text.phonemes import (
+    PHONEMES,
+    PHONEME_TO_INDEX,
+    SILENCE,
+    Phoneme,
+    is_vowel,
+    phoneme_profile,
+)
+from repro.text.normalize import normalize_text, tokenize
+from repro.text.lexicon import Lexicon, grapheme_to_phonemes
+from repro.text.language_model import BigramLanguageModel
+from repro.text.corpus import (
+    SentenceCorpus,
+    librispeech_like_corpus,
+    commonvoice_like_corpus,
+    attack_command_corpus,
+)
+from repro.text.metrics import edit_distance, word_error_rate, character_error_rate
+
+__all__ = [
+    "PHONEMES",
+    "PHONEME_TO_INDEX",
+    "SILENCE",
+    "Phoneme",
+    "is_vowel",
+    "phoneme_profile",
+    "normalize_text",
+    "tokenize",
+    "Lexicon",
+    "grapheme_to_phonemes",
+    "BigramLanguageModel",
+    "SentenceCorpus",
+    "librispeech_like_corpus",
+    "commonvoice_like_corpus",
+    "attack_command_corpus",
+    "edit_distance",
+    "word_error_rate",
+    "character_error_rate",
+]

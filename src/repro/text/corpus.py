@@ -1,0 +1,258 @@
+"""Sentence corpora standing in for LibriSpeech, CommonVoice and attack texts.
+
+The paper draws benign audio from LibriSpeech dev-clean (read narration) and
+CommonVoice (short crowd-sourced sentences), and embeds attacker-chosen
+command phrases into AEs.  Offline we use original, hand-written sentence
+pools with the same character: multi-word conversational/narrative sentences
+for the benign corpora and short imperative voice commands for the attack
+corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.text.normalize import normalize_text, tokenize
+
+# Narration-style sentences (LibriSpeech-like): 4-10 words, declarative.
+_LIBRISPEECH_LIKE: tuple[str, ...] = (
+    "i wish you would not say that",
+    "the old man walked slowly along the river",
+    "she opened the window and looked at the garden",
+    "we waited for the train in the cold morning",
+    "the children played near the big stone bridge",
+    "he read the letter twice before answering",
+    "a small boat drifted past the quiet harbor",
+    "the teacher asked the class a simple question",
+    "they traveled for many days across the plains",
+    "the light of the lamp fell on the table",
+    "my brother keeps his tools in the old shed",
+    "the storm passed over the hills before sunset",
+    "she wrote her name at the top of the page",
+    "the farmer carried the heavy basket to the market",
+    "he stood at the door and listened carefully",
+    "the sound of the bell echoed through the valley",
+    "we found a narrow path behind the farm house",
+    "the soldiers marched through the silent town",
+    "her voice was soft but every word was clear",
+    "the captain studied the map for a long time",
+    "a gentle wind moved the leaves of the trees",
+    "the doctor arrived late in the evening",
+    "they sold fresh bread at the corner shop",
+    "the river was wide and the current was strong",
+    "he placed the book back on the wooden shelf",
+    "the young woman smiled and shook her head",
+    "snow covered the roof of the little cabin",
+    "the judge listened to both sides of the story",
+    "i remember the summer we spent by the lake",
+    "the horses rested in the shade of the barn",
+    "she counted the coins and put them away",
+    "the train left the station exactly on time",
+    "his answer surprised everyone in the room",
+    "the garden was full of red and yellow flowers",
+    "we talked about the journey for many hours",
+    "the clock on the wall struck nine",
+    "the fisherman pulled the net from the water",
+    "a long shadow stretched across the field",
+    "the letter arrived on a rainy afternoon",
+    "they built the wall with stones from the hill",
+    "the moon rose slowly over the dark forest",
+    "she poured the tea and offered us some cake",
+    "the men loaded the wagon before dawn",
+    "i had never seen such a beautiful valley",
+    "the baker opened his shop before sunrise",
+    "the old clock in the hall stopped last winter",
+    "he whispered something to the boy beside him",
+    "the road turned sharply near the old mill",
+    "the family gathered around the warm fire",
+    "a single candle burned in the small window",
+    "the sailor told us stories about distant ports",
+    "her sister lives in a village by the sea",
+    "the bridge was built more than a century ago",
+    "the dog slept quietly under the kitchen table",
+    "the professor explained the idea with great care",
+    "rain fell steadily on the empty street",
+    "the painter worked on the portrait all morning",
+    "they followed the narrow trail up the mountain",
+    "the merchant counted his goods twice",
+    "a strange silence settled over the camp",
+    "the nurse checked on the patient every hour",
+    "the boy carried the water from the well",
+    "the musicians practiced in the old church hall",
+    "the wind blew the papers off the desk",
+    "she folded the blanket and set it on the chair",
+    "the hunters returned before the snow began",
+    "the lawyer read the contract very slowly",
+    "the miller ground the grain for the village",
+    "the lamp flickered and then went out",
+    "we watched the ships leave the harbor at dusk",
+    "the carpenter measured the board a second time",
+    "the child asked why the sky was blue",
+    "the garden gate creaked in the night wind",
+    "he kept the old photograph in his coat pocket",
+    "the crowd waited patiently outside the hall",
+    "the smell of fresh bread filled the kitchen",
+    "the travelers rested at the edge of the forest",
+    "she learned to play the piano as a child",
+    "the guard walked along the wall every night",
+)
+
+# CommonVoice-like: shorter, conversational sentences.
+_COMMONVOICE_LIKE: tuple[str, ...] = (
+    "please call me later tonight",
+    "the weather is nice today",
+    "i am running a little late",
+    "can you repeat that please",
+    "thank you very much for your help",
+    "see you tomorrow morning",
+    "the coffee is still warm",
+    "i left my keys at home",
+    "this street is very quiet",
+    "we should leave before dark",
+    "my phone battery is almost dead",
+    "that movie was really long",
+    "the bus stops near the library",
+    "dinner will be ready soon",
+    "i forgot to send the email",
+    "the meeting starts at ten",
+    "her garden looks lovely in spring",
+    "he plays football every weekend",
+    "the store closes in one hour",
+    "it rained all day yesterday",
+    "i need a new pair of shoes",
+    "the kids are already asleep",
+    "this soup needs more salt",
+    "the flight was delayed again",
+    "she speaks three languages",
+    "turn left at the next corner",
+    "the museum is free on sundays",
+    "i like walking in the park",
+    "the printer is out of paper",
+    "we ran out of milk this morning",
+    "his handwriting is hard to read",
+    "the tickets are on the kitchen table",
+    "my favorite season is autumn",
+    "the water in the lake is very cold",
+    "they moved to a new apartment",
+    "i will take the early train",
+    "the cat is sleeping on the sofa",
+    "our neighbors are very friendly",
+    "the bread in this bakery is excellent",
+    "i can meet you after lunch",
+)
+
+# Attacker command phrases (the payloads embedded in AEs).  These mirror the
+# style of the commands used by the Carlini & Wagner and CommanderSong
+# papers: short imperative phrases a voice assistant would act on.
+_ATTACK_COMMANDS: tuple[str, ...] = (
+    "open the front door",
+    "unlock the back door",
+    "turn off the security camera",
+    "turn off the alarm system",
+    "open the garage door",
+    "send all my money now",
+    "delete all my files",
+    "visit the evil website now",
+    "turn on airplane mode",
+    "call the unknown number",
+    "order ten new phones",
+    "read my last message aloud",
+    "turn the volume to maximum",
+    "disable the smoke detector",
+    "start the car engine",
+    "transfer money to this account",
+    "open a sight for sore eyes",
+    "a sight for sore eyes",
+    "browse to the malicious page",
+    "turn off all the lights",
+    "unlock the safe now",
+    "cancel the doctor appointment",
+    "share my location with everyone",
+    "mute all incoming alerts",
+)
+
+# Two-word payloads for the black-box attack, which the paper notes can only
+# embed up to two words.
+_TWO_WORD_COMMANDS: tuple[str, ...] = (
+    "open door",
+    "unlock door",
+    "send money",
+    "delete files",
+    "call now",
+    "turn off",
+    "start car",
+    "go away",
+    "stop alarm",
+    "buy phones",
+)
+
+
+@dataclass
+class SentenceCorpus:
+    """A named pool of sentences with deterministic sampling."""
+
+    name: str
+    sentences: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.sentences = tuple(normalize_text(s) for s in self.sentences)
+        if not self.sentences:
+            raise ValueError(f"corpus {self.name!r} has no sentences")
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    def __iter__(self):
+        return iter(self.sentences)
+
+    def vocabulary(self) -> list[str]:
+        """Sorted set of every word appearing in the corpus."""
+        words: set[str] = set()
+        for sentence in self.sentences:
+            words.update(tokenize(sentence))
+        return sorted(words)
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[str]:
+        """Draw ``n`` sentences (with replacement once the pool is exhausted)."""
+        if n <= len(self.sentences):
+            idx = rng.choice(len(self.sentences), size=n, replace=False)
+        else:
+            idx = rng.choice(len(self.sentences), size=n, replace=True)
+        return [self.sentences[i] for i in idx]
+
+    def sample_one(self, rng: np.random.Generator) -> str:
+        """Draw a single sentence."""
+        return self.sentences[int(rng.integers(len(self.sentences)))]
+
+
+def librispeech_like_corpus() -> SentenceCorpus:
+    """Narration-style benign corpus (stands in for LibriSpeech dev-clean)."""
+    return SentenceCorpus("librispeech-like", _LIBRISPEECH_LIKE)
+
+
+def commonvoice_like_corpus() -> SentenceCorpus:
+    """Short conversational corpus (stands in for CommonVoice)."""
+    return SentenceCorpus("commonvoice-like", _COMMONVOICE_LIKE)
+
+
+def attack_command_corpus(two_word_only: bool = False) -> SentenceCorpus:
+    """Attacker payload phrases.
+
+    Args:
+        two_word_only: restrict to two-word payloads, matching the capacity
+            limit of the black-box attack reported by the paper.
+    """
+    if two_word_only:
+        return SentenceCorpus("attack-commands-2w", _TWO_WORD_COMMANDS)
+    return SentenceCorpus("attack-commands", _ATTACK_COMMANDS)
+
+
+def combined_vocabulary() -> list[str]:
+    """Vocabulary across all built-in corpora (used to build ASR lexicons)."""
+    words: set[str] = set()
+    for corpus in (librispeech_like_corpus(), commonvoice_like_corpus(),
+                   attack_command_corpus(), attack_command_corpus(True)):
+        words.update(corpus.vocabulary())
+    return sorted(words)

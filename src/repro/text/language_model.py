@@ -1,0 +1,82 @@
+"""Bigram language model used by the ASR word decoders.
+
+Every ASR simulator carries a small statistical language model, mirroring
+the "language generation" stage of the ASR pipeline described in Section II
+of the paper.  A simple add-k smoothed bigram model over the training
+corpora is sufficient: its role is to break ties between acoustically
+similar word sequences during decoding.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+from repro.text.normalize import tokenize
+
+#: Sentinel tokens for sentence boundaries.
+BOS = "<s>"
+EOS = "</s>"
+
+
+class BigramLanguageModel:
+    """Add-k smoothed bigram model over word tokens."""
+
+    def __init__(self, sentences: Iterable[str] | None = None, k: float = 0.1):
+        if k <= 0:
+            raise ValueError("smoothing constant k must be positive")
+        self.k = k
+        self._unigrams: Counter[str] = Counter()
+        self._bigrams: dict[str, Counter[str]] = defaultdict(Counter)
+        self._total_tokens = 0
+        if sentences is not None:
+            self.fit(sentences)
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, sentences: Iterable[str]) -> "BigramLanguageModel":
+        """Accumulate counts from ``sentences`` (may be called repeatedly)."""
+        for sentence in sentences:
+            tokens = [BOS, *tokenize(sentence), EOS]
+            for token in tokens:
+                self._unigrams[token] += 1
+                self._total_tokens += 1
+            for prev, cur in zip(tokens, tokens[1:]):
+                self._bigrams[prev][cur] += 1
+        return self
+
+    # -------------------------------------------------------------- queries
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens seen (including boundary markers)."""
+        return len(self._unigrams)
+
+    def unigram_logprob(self, word: str) -> float:
+        """Smoothed log probability of ``word`` under the unigram model."""
+        vocab = max(1, self.vocabulary_size)
+        count = self._unigrams.get(word, 0)
+        return math.log((count + self.k) / (self._total_tokens + self.k * vocab))
+
+    def bigram_logprob(self, prev: str, word: str) -> float:
+        """Smoothed log probability of ``word`` following ``prev``."""
+        vocab = max(1, self.vocabulary_size)
+        following = self._bigrams.get(prev)
+        count = following.get(word, 0) if following else 0
+        context_total = sum(following.values()) if following else 0
+        return math.log((count + self.k) / (context_total + self.k * vocab))
+
+    def sentence_logprob(self, sentence: str) -> float:
+        """Log probability of a whole sentence, including boundaries."""
+        tokens = [BOS, *tokenize(sentence), EOS]
+        return sum(self.bigram_logprob(p, c) for p, c in zip(tokens, tokens[1:]))
+
+    def word_score(self, prev: str | None, word: str) -> float:
+        """Decoder-facing score: bigram log-prob with unigram backoff mix.
+
+        The decoder passes ``prev=None`` for the first word of a hypothesis.
+        """
+        prev_token = BOS if prev is None else prev
+        bigram = self.bigram_logprob(prev_token, word)
+        unigram = self.unigram_logprob(word)
+        # Interpolate lightly so unseen bigrams are not over-penalised.
+        return 0.7 * bigram + 0.3 * unigram

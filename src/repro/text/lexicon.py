@@ -1,0 +1,302 @@
+"""Pronunciation lexicon: rule-based grapheme-to-phoneme conversion.
+
+Real ASR systems rely on large hand-curated pronunciation dictionaries
+(e.g. CMUdict).  Offline we instead use a deterministic rule-based
+grapheme-to-phoneme (G2P) converter with an exception dictionary for common
+irregular words.  Consistency matters more than phonetic accuracy here: the
+synthesiser *and* every ASR simulator share the same lexicon, so a word is
+always recoverable from its pronunciation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.text.normalize import normalize_text, tokenize
+from repro.text.phonemes import Phoneme, validate_sequence
+
+# Irregular / very common words whose rule-based pronunciation would be
+# misleading.  Kept small on purpose; everything else goes through the rules.
+_EXCEPTIONS: dict[str, tuple[Phoneme, ...]] = {
+    "a": ("AH",),
+    "an": ("AE", "N"),
+    "the": ("DH", "AH"),
+    "of": ("AH", "V"),
+    "to": ("T", "UW"),
+    "and": ("AE", "N", "D"),
+    "you": ("Y", "UW"),
+    "i": ("AY",),
+    "was": ("W", "AH", "Z"),
+    "is": ("IH", "Z"),
+    "are": ("AA", "R"),
+    "were": ("W", "ER"),
+    "one": ("W", "AH", "N"),
+    "two": ("T", "UW"),
+    "do": ("D", "UW"),
+    "does": ("D", "AH", "Z"),
+    "have": ("HH", "AE", "V"),
+    "has": ("HH", "AE", "Z"),
+    "he": ("HH", "IY"),
+    "she": ("SH", "IY"),
+    "we": ("W", "IY"),
+    "me": ("M", "IY"),
+    "be": ("B", "IY"),
+    "they": ("DH", "EY"),
+    "their": ("DH", "EH", "R"),
+    "there": ("DH", "EH", "R"),
+    "what": ("W", "AH", "T"),
+    "who": ("HH", "UW"),
+    "would": ("W", "UH", "D"),
+    "could": ("K", "UH", "D"),
+    "should": ("SH", "UH", "D"),
+    "said": ("S", "EH", "D"),
+    "says": ("S", "EH", "Z"),
+    "door": ("D", "AO", "R"),
+    "front": ("F", "R", "AH", "N", "T"),
+    "open": ("OW", "P", "AH", "N"),
+    "browser": ("B", "R", "AW", "Z", "ER"),
+    "ok": ("OW", "K", "EY"),
+    "okay": ("OW", "K", "EY"),
+    "eyes": ("AY", "Z"),
+    "lights": ("L", "AY", "T", "S"),
+    "light": ("L", "AY", "T"),
+    "night": ("N", "AY", "T"),
+    "right": ("R", "AY", "T"),
+    "know": ("N", "OW"),
+    "off": ("AO", "F"),
+    "once": ("W", "AH", "N", "S"),
+    "people": ("P", "IY", "P", "AH", "L"),
+    "because": ("B", "IH", "K", "AH", "Z"),
+    "evil": ("IY", "V", "AH", "L"),
+    "money": ("M", "AH", "N", "IY"),
+    "some": ("S", "AH", "M"),
+    "come": ("K", "AH", "M"),
+    "love": ("L", "AH", "V"),
+    "move": ("M", "UW", "V"),
+    "prove": ("P", "R", "UW", "V"),
+    "great": ("G", "R", "EY", "T"),
+    "again": ("AH", "G", "EH", "N"),
+    "against": ("AH", "G", "EH", "N", "S", "T"),
+    "water": ("W", "AO", "T", "ER"),
+    "music": ("M", "Y", "UW", "Z", "IH", "K"),
+    "garage": ("G", "ER", "AA", "ZH"),
+    "house": ("HH", "AW", "S"),
+    "hours": ("AW", "ER", "Z"),
+    "hour": ("AW", "ER"),
+    "heard": ("HH", "ER", "D"),
+    "early": ("ER", "L", "IY"),
+    "learn": ("L", "ER", "N"),
+    "world": ("W", "ER", "L", "D"),
+    "word": ("W", "ER", "D"),
+    "work": ("W", "ER", "K"),
+    "first": ("F", "ER", "S", "T"),
+    "sight": ("S", "AY", "T"),
+    "sore": ("S", "AO", "R"),
+    "wish": ("W", "IH", "SH"),
+    "weather": ("W", "EH", "DH", "ER"),
+    "message": ("M", "EH", "S", "IH", "JH"),
+    "volume": ("V", "AA", "L", "Y", "UW", "M"),
+    "unlock": ("AH", "N", "L", "AA", "K"),
+    "delete": ("D", "IH", "L", "IY", "T"),
+    "alarm": ("AH", "L", "AA", "R", "M"),
+    "camera": ("K", "AE", "M", "ER", "AH"),
+    "purchase": ("P", "ER", "CH", "AH", "S"),
+    "security": ("S", "IH", "K", "Y", "UH", "R", "IH", "T", "IY"),
+    "thermostat": ("TH", "ER", "M", "AH", "S", "T", "AE", "T"),
+    "vehicle": ("V", "IY", "IH", "K", "AH", "L"),
+    "website": ("W", "EH", "B", "S", "AY", "T"),
+    "malicious": ("M", "AH", "L", "IH", "SH", "AH", "S"),
+}
+
+# Multi-letter grapheme rules, applied greedily left-to-right (longest match
+# first).  Each rule maps a letter cluster to zero or more phonemes.
+_DIGRAPHS: list[tuple[str, tuple[Phoneme, ...]]] = [
+    ("tion", ("SH", "AH", "N")),
+    ("sion", ("ZH", "AH", "N")),
+    ("ough", ("AO",)),
+    ("augh", ("AO",)),
+    ("eigh", ("EY",)),
+    ("igh", ("AY",)),
+    ("tch", ("CH",)),
+    ("dge", ("JH",)),
+    ("sch", ("S", "K")),
+    ("ck", ("K",)),
+    ("ch", ("CH",)),
+    ("sh", ("SH",)),
+    ("th", ("TH",)),
+    ("ph", ("F",)),
+    ("wh", ("W",)),
+    ("ng", ("NG",)),
+    ("qu", ("K", "W")),
+    ("oo", ("UW",)),
+    ("ee", ("IY",)),
+    ("ea", ("IY",)),
+    ("ai", ("EY",)),
+    ("ay", ("EY",)),
+    ("oa", ("OW",)),
+    ("ow", ("OW",)),
+    ("ou", ("AW",)),
+    ("oi", ("OY",)),
+    ("oy", ("OY",)),
+    ("au", ("AO",)),
+    ("aw", ("AO",)),
+    ("ar", ("AA", "R")),
+    ("er", ("ER",)),
+    ("ir", ("ER",)),
+    ("ur", ("ER",)),
+    ("or", ("AO", "R")),
+    ("kn", ("N",)),
+    ("wr", ("R",)),
+    ("mb", ("M",)),
+    ("gh", ()),
+]
+
+# Single-letter fallbacks.
+_SINGLE: dict[str, tuple[Phoneme, ...]] = {
+    "a": ("AE",),
+    "b": ("B",),
+    "c": ("K",),
+    "d": ("D",),
+    "e": ("EH",),
+    "f": ("F",),
+    "g": ("G",),
+    "h": ("HH",),
+    "i": ("IH",),
+    "j": ("JH",),
+    "k": ("K",),
+    "l": ("L",),
+    "m": ("M",),
+    "n": ("N",),
+    "o": ("AA",),
+    "p": ("P",),
+    "q": ("K",),
+    "r": ("R",),
+    "s": ("S",),
+    "t": ("T",),
+    "u": ("AH",),
+    "v": ("V",),
+    "w": ("W",),
+    "x": ("K", "S"),
+    "y": ("IY",),
+    "z": ("Z",),
+}
+
+_VOWEL_LETTERS = set("aeiou")
+
+
+@lru_cache(maxsize=None)
+def grapheme_to_phonemes(word: str) -> tuple[Phoneme, ...]:
+    """Convert a single lower-case word to its phoneme sequence.
+
+    The converter first checks the exception dictionary, then applies
+    digraph rules greedily, then single-letter fallbacks.  A trailing silent
+    ``e`` is dropped, "c" before front vowels becomes ``S`` and "g" before
+    front vowels becomes ``JH``.
+    """
+    word = normalize_text(word)
+    if not word:
+        return ()
+    if " " in word:
+        raise ValueError(f"grapheme_to_phonemes expects a single word, got {word!r}")
+    if word in _EXCEPTIONS:
+        return _EXCEPTIONS[word]
+
+    letters = word
+    # Drop a silent final "e" (but not for 2-letter words like "he", handled
+    # by exceptions anyway).
+    if len(letters) > 3 and letters.endswith("e") and letters[-2] not in _VOWEL_LETTERS:
+        letters = letters[:-1]
+
+    phonemes: list[Phoneme] = []
+    i = 0
+    while i < len(letters):
+        matched = False
+        for cluster, mapped in _DIGRAPHS:
+            if letters.startswith(cluster, i):
+                phonemes.extend(mapped)
+                i += len(cluster)
+                matched = True
+                break
+        if matched:
+            continue
+        letter = letters[i]
+        nxt = letters[i + 1] if i + 1 < len(letters) else ""
+        if letter == "c" and nxt in {"e", "i", "y"}:
+            phonemes.append("S")
+        elif letter == "g" and nxt in {"e", "i", "y"}:
+            phonemes.append("JH")
+        elif letter == "y" and i > 0:
+            phonemes.append("IY")
+        else:
+            phonemes.extend(_SINGLE.get(letter, ()))
+        i += 1
+
+    # Collapse immediate duplicates produced by double letters ("ll", "ss").
+    collapsed: list[Phoneme] = []
+    for phoneme in phonemes:
+        if not collapsed or collapsed[-1] != phoneme:
+            collapsed.append(phoneme)
+        elif phoneme in {"S", "Z", "T", "D", "K", "P"}:
+            # Keep genuinely doubled stops/fricatives occasionally produced
+            # by compound words; a single copy is enough acoustically.
+            continue
+    validate_sequence(collapsed)
+    return tuple(collapsed)
+
+
+class Lexicon:
+    """Pronunciation dictionary over a vocabulary.
+
+    A lexicon is built from a corpus vocabulary and provides the two lookups
+    the ASR word decoder needs: word → pronunciation and pronunciations
+    indexed for decoding.
+    """
+
+    def __init__(self, words: list[str] | None = None):
+        self._pronunciations: dict[str, tuple[Phoneme, ...]] = {}
+        if words:
+            self.add_words(words)
+
+    def add_words(self, words: list[str]) -> None:
+        """Add ``words`` (normalising each) to the lexicon."""
+        for word in words:
+            for token in tokenize(word):
+                if token not in self._pronunciations:
+                    self._pronunciations[token] = grapheme_to_phonemes(token)
+
+    def add_sentences(self, sentences: list[str]) -> None:
+        """Add every word of every sentence to the lexicon."""
+        for sentence in sentences:
+            self.add_words(tokenize(sentence))
+
+    def __contains__(self, word: str) -> bool:
+        return normalize_text(word) in self._pronunciations
+
+    def __len__(self) -> int:
+        return len(self._pronunciations)
+
+    @property
+    def words(self) -> list[str]:
+        """Sorted vocabulary."""
+        return sorted(self._pronunciations)
+
+    def pronounce(self, word: str) -> tuple[Phoneme, ...]:
+        """Pronunciation of ``word`` (added on demand if unknown)."""
+        token = normalize_text(word)
+        if token not in self._pronunciations:
+            self._pronunciations[token] = grapheme_to_phonemes(token)
+        return self._pronunciations[token]
+
+    def pronounce_sentence(self, sentence: str) -> list[Phoneme]:
+        """Pronounce a sentence, separating words with silence."""
+        from repro.text.phonemes import SILENCE
+
+        phonemes: list[Phoneme] = [SILENCE]
+        for word in tokenize(sentence):
+            phonemes.extend(self.pronounce(word))
+            phonemes.append(SILENCE)
+        return phonemes
+
+    def items(self):
+        """Iterate over ``(word, pronunciation)`` pairs."""
+        return self._pronunciations.items()

@@ -1,0 +1,57 @@
+"""Sequence error metrics: edit distance, WER and CER.
+
+Used by the evaluation (the non-targeted AE experiment thresholds on word
+error rate) and by the attacks' success criteria.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.text.normalize import normalize_text, tokenize
+
+
+def edit_distance(reference: Sequence, hypothesis: Sequence) -> int:
+    """Levenshtein distance between two token sequences."""
+    ref_len, hyp_len = len(reference), len(hypothesis)
+    if ref_len == 0:
+        return hyp_len
+    if hyp_len == 0:
+        return ref_len
+    previous = list(range(hyp_len + 1))
+    for i in range(1, ref_len + 1):
+        current = [i] + [0] * hyp_len
+        ref_token = reference[i - 1]
+        for j in range(1, hyp_len + 1):
+            substitution = previous[j - 1] + (0 if ref_token == hypothesis[j - 1] else 1)
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, substitution)
+        previous = current
+    return previous[hyp_len]
+
+
+def word_error_rate(reference: str, hypothesis: str) -> float:
+    """Word error rate of ``hypothesis`` against ``reference``.
+
+    Defined as edit distance over words divided by the reference length.
+    An empty reference with a non-empty hypothesis counts as WER 1.0.
+    """
+    ref_tokens = tokenize(reference)
+    hyp_tokens = tokenize(hypothesis)
+    if not ref_tokens:
+        return 0.0 if not hyp_tokens else 1.0
+    return edit_distance(ref_tokens, hyp_tokens) / len(ref_tokens)
+
+
+def character_error_rate(reference: str, hypothesis: str) -> float:
+    """Character error rate over normalised text."""
+    ref = normalize_text(reference)
+    hyp = normalize_text(hypothesis)
+    if not ref:
+        return 0.0 if not hyp else 1.0
+    return edit_distance(ref, hyp) / len(ref)
+
+
+def transcription_matches(reference: str, hypothesis: str,
+                          max_wer: float = 0.0) -> bool:
+    """True if ``hypothesis`` matches ``reference`` up to ``max_wer``."""
+    return word_error_rate(reference, hypothesis) <= max_wer

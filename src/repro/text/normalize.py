@@ -1,0 +1,65 @@
+"""Text normalisation shared by corpora, lexicon and metrics."""
+
+from __future__ import annotations
+
+import re
+
+_APOSTROPHE_RE = re.compile(r"[’']")
+_NON_ALPHA_RE = re.compile(r"[^a-z\s]")
+_WHITESPACE_RE = re.compile(r"\s+")
+
+# Common contractions are expanded so that every token maps cleanly through
+# the grapheme-to-phoneme rules.  Keys are the contractions as they appear
+# after the apostrophe has been replaced with a space; they are matched as
+# whole words only.
+_CONTRACTIONS = {
+    "wouldn t": "would not",
+    "couldn t": "could not",
+    "shouldn t": "should not",
+    "don t": "do not",
+    "doesn t": "does not",
+    "didn t": "did not",
+    "isn t": "is not",
+    "wasn t": "was not",
+    "aren t": "are not",
+    "won t": "will not",
+    "can t": "can not",
+    "i m": "i am",
+    "i ve": "i have",
+    "i ll": "i will",
+    "it s": "it is",
+    "that s": "that is",
+    "there s": "there is",
+    "you re": "you are",
+    "they re": "they are",
+    "we re": "we are",
+    "let s": "let us",
+}
+
+_CONTRACTION_RES = [
+    (re.compile(rf"\b{re.escape(contraction)}\b"), expansion)
+    for contraction, expansion in _CONTRACTIONS.items()
+]
+
+
+def normalize_text(text: str) -> str:
+    """Lower-case, strip punctuation and expand common contractions.
+
+    The ASR simulators, attacks and similarity scorers all operate on
+    normalised text, mirroring the paper's use of lower-cased transcriptions.
+    """
+    lowered = text.lower()
+    lowered = _APOSTROPHE_RE.sub(" ", lowered)
+    lowered = _NON_ALPHA_RE.sub(" ", lowered)
+    lowered = _WHITESPACE_RE.sub(" ", lowered).strip()
+    for pattern, expansion in _CONTRACTION_RES:
+        lowered = pattern.sub(expansion, lowered)
+    return _WHITESPACE_RE.sub(" ", lowered).strip()
+
+
+def tokenize(text: str) -> list[str]:
+    """Normalise ``text`` and split it into word tokens."""
+    normalized = normalize_text(text)
+    if not normalized:
+        return []
+    return normalized.split(" ")

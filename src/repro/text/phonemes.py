@@ -1,0 +1,131 @@
+"""Phoneme inventory and acoustic profiles.
+
+The inventory is an ARPAbet-style set of English phonemes.  Each phoneme
+carries an *acoustic profile* — formant frequencies, a voicing flag and a
+noise level — used both by the speech synthesiser (to render the phoneme as
+audio) and by the ASR simulators (to derive per-model acoustic templates).
+
+The profiles are deliberately simple: three formant-like spectral peaks for
+voiced sounds and shaped noise for fricatives/stops.  What matters for the
+reproduction is that distinct phonemes are acoustically separable and that
+the mapping is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+Phoneme = str
+
+#: Special "phoneme" representing silence / word boundaries.
+SILENCE: Phoneme = "SIL"
+
+
+@dataclass(frozen=True)
+class PhonemeProfile:
+    """Acoustic description of a phoneme.
+
+    Attributes:
+        formants: centre frequencies (Hz) of up to three spectral peaks.
+        amplitudes: relative amplitude of each formant.
+        voiced: whether the phoneme has a periodic (pitched) source.
+        noise: amount of aspiration/frication noise in [0, 1].
+        duration: nominal duration in seconds.
+    """
+
+    formants: tuple[float, ...]
+    amplitudes: tuple[float, ...]
+    voiced: bool
+    noise: float
+    duration: float
+
+
+# Vowel formants loosely follow published average F1/F2/F3 values for
+# American English; consonants use representative noise bands or low-energy
+# profiles.  Durations: vowels ~90 ms, stops ~50 ms, fricatives ~70 ms.
+_VOWEL = lambda f1, f2, f3, dur=0.09: PhonemeProfile(  # noqa: E731
+    formants=(f1, f2, f3), amplitudes=(1.0, 0.7, 0.3), voiced=True, noise=0.05,
+    duration=dur,
+)
+
+_PROFILES: dict[Phoneme, PhonemeProfile] = {
+    # --- vowels / diphthongs ---
+    "AA": _VOWEL(730, 1090, 2440),
+    "AE": _VOWEL(660, 1720, 2410),
+    "AH": _VOWEL(640, 1190, 2390),
+    "AO": _VOWEL(570, 840, 2410),
+    "AW": _VOWEL(700, 1220, 2600, 0.12),
+    "AY": _VOWEL(660, 1700, 2600, 0.12),
+    "EH": _VOWEL(530, 1840, 2480),
+    "ER": _VOWEL(490, 1350, 1690),
+    "EY": _VOWEL(480, 2150, 2700, 0.11),
+    "IH": _VOWEL(390, 1990, 2550),
+    "IY": _VOWEL(270, 2290, 3010),
+    "OW": _VOWEL(500, 900, 2450, 0.11),
+    "OY": _VOWEL(520, 1300, 2500, 0.13),
+    "UH": _VOWEL(440, 1020, 2240),
+    "UW": _VOWEL(300, 870, 2240),
+    # --- semivowels / liquids / nasals (voiced, low noise) ---
+    "W": PhonemeProfile((300, 700, 2200), (1.0, 0.6, 0.2), True, 0.05, 0.06),
+    "Y": PhonemeProfile((280, 2200, 3000), (1.0, 0.6, 0.2), True, 0.05, 0.06),
+    "R": PhonemeProfile((420, 1300, 1600), (1.0, 0.7, 0.4), True, 0.08, 0.07),
+    "L": PhonemeProfile((380, 1100, 2600), (1.0, 0.5, 0.3), True, 0.06, 0.07),
+    "M": PhonemeProfile((280, 1000, 2200), (1.0, 0.3, 0.1), True, 0.04, 0.07),
+    "N": PhonemeProfile((300, 1400, 2500), (1.0, 0.3, 0.1), True, 0.04, 0.07),
+    "NG": PhonemeProfile((320, 1300, 2100), (1.0, 0.3, 0.1), True, 0.04, 0.08),
+    # --- voiced fricatives / affricates ---
+    "V": PhonemeProfile((350, 1600, 2600), (0.7, 0.4, 0.4), True, 0.45, 0.06),
+    "DH": PhonemeProfile((350, 1500, 2700), (0.7, 0.4, 0.4), True, 0.40, 0.05),
+    "Z": PhonemeProfile((400, 2500, 4500), (0.5, 0.5, 0.8), True, 0.60, 0.07),
+    "ZH": PhonemeProfile((400, 2200, 3500), (0.5, 0.6, 0.7), True, 0.55, 0.07),
+    "JH": PhonemeProfile((350, 2300, 3600), (0.5, 0.6, 0.7), True, 0.55, 0.07),
+    # --- unvoiced fricatives / affricates ---
+    "F": PhonemeProfile((1200, 2500, 4800), (0.4, 0.5, 0.8), False, 0.85, 0.07),
+    "TH": PhonemeProfile((1400, 2700, 5000), (0.4, 0.5, 0.8), False, 0.80, 0.06),
+    "S": PhonemeProfile((3000, 4500, 6000), (0.5, 0.8, 1.0), False, 0.95, 0.08),
+    "SH": PhonemeProfile((2200, 3300, 4800), (0.6, 0.9, 0.8), False, 0.90, 0.08),
+    "CH": PhonemeProfile((2300, 3400, 4700), (0.6, 0.9, 0.8), False, 0.90, 0.07),
+    "HH": PhonemeProfile((800, 1800, 3000), (0.5, 0.5, 0.4), False, 0.70, 0.05),
+    # --- stops ---
+    "P": PhonemeProfile((700, 1800, 3200), (0.4, 0.3, 0.3), False, 0.65, 0.05),
+    "B": PhonemeProfile((350, 1200, 2400), (0.8, 0.4, 0.2), True, 0.25, 0.05),
+    "T": PhonemeProfile((2500, 3800, 5200), (0.4, 0.6, 0.6), False, 0.70, 0.05),
+    "D": PhonemeProfile((400, 1700, 2700), (0.8, 0.5, 0.3), True, 0.25, 0.05),
+    "K": PhonemeProfile((1600, 2600, 3800), (0.5, 0.5, 0.4), False, 0.70, 0.05),
+    "G": PhonemeProfile((350, 1500, 2500), (0.8, 0.5, 0.3), True, 0.25, 0.05),
+    # --- silence ---
+    SILENCE: PhonemeProfile((0.0,), (0.0,), False, 0.0, 0.06),
+}
+
+#: Ordered phoneme inventory (stable order is relied upon by acoustic models).
+PHONEMES: tuple[Phoneme, ...] = tuple(sorted(_PROFILES))
+
+#: Index of each phoneme in :data:`PHONEMES`.
+PHONEME_TO_INDEX: dict[Phoneme, int] = {p: i for i, p in enumerate(PHONEMES)}
+
+_VOWELS = frozenset(
+    p for p, prof in _PROFILES.items()
+    if prof.voiced and prof.noise <= 0.1 and p not in
+    {"W", "Y", "R", "L", "M", "N", "NG"}
+)
+
+
+def phoneme_profile(phoneme: Phoneme) -> PhonemeProfile:
+    """Return the acoustic profile of ``phoneme``.
+
+    Raises:
+        KeyError: if the phoneme is not in the inventory.
+    """
+    return _PROFILES[phoneme]
+
+
+def is_vowel(phoneme: Phoneme) -> bool:
+    """True if the phoneme is a vowel or diphthong."""
+    return phoneme in _VOWELS
+
+
+def validate_sequence(phonemes: list[Phoneme]) -> None:
+    """Raise ``ValueError`` if any phoneme is not in the inventory."""
+    unknown = [p for p in phonemes if p not in _PROFILES]
+    if unknown:
+        raise ValueError(f"unknown phonemes: {sorted(set(unknown))}")

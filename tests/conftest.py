@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (ASR simulators, the tiny scored dataset) are session
+scoped; the scored dataset is additionally cached on disk under
+``.repro_cache`` so repeated test runs do not regenerate adversarial
+examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.asr.registry import build_asr, get_shared_lexicon
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.config import TINY
+
+
+@pytest.fixture(scope="session")
+def lexicon():
+    return get_shared_lexicon()
+
+
+@pytest.fixture(scope="session")
+def synthesizer(lexicon):
+    return SpeechSynthesizer(lexicon=lexicon, seed=123)
+
+
+@pytest.fixture(scope="session")
+def ds0():
+    return build_asr("DS0")
+
+
+@pytest.fixture(scope="session")
+def ds1():
+    return build_asr("DS1")
+
+
+@pytest.fixture(scope="session")
+def asr_suite():
+    return {name: build_asr(name) for name in ("DS0", "DS1", "GCS", "AT")}
+
+
+@pytest.fixture(scope="session")
+def benign_waveform(synthesizer):
+    return synthesizer.synthesize("the storm passed over the hills before sunset")
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """The tiny scored dataset (generated once, cached on disk)."""
+    from repro.datasets.scores import load_scored_dataset
+
+    return load_scored_dataset(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """The tiny audio dataset bundle."""
+    from repro.datasets.builder import load_standard_bundle
+
+    return load_standard_bundle(TINY)

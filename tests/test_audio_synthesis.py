@@ -1,0 +1,55 @@
+"""Tests for the formant speech synthesiser."""
+
+import numpy as np
+import pytest
+
+from repro.audio.synthesis import SpeakerProfile, SpeechSynthesizer
+from repro.text.phonemes import SILENCE
+
+
+def test_synthesize_returns_labelled_waveform(synthesizer):
+    wave = synthesizer.synthesize("open the door")
+    assert wave.text == "open the door"
+    assert wave.label == "benign"
+    assert wave.duration > 0.3
+    assert wave.peak <= 1.0
+    assert np.all(np.isfinite(wave.samples))
+
+
+def test_synthesize_different_speakers_differ(synthesizer):
+    low = synthesizer.synthesize("open the door", speaker=SpeakerProfile(pitch_hz=100))
+    high = synthesizer.synthesize("open the door", speaker=SpeakerProfile(pitch_hz=200))
+    n = min(len(low), len(high))
+    assert not np.allclose(low.samples[:n], high.samples[:n])
+
+
+def test_longer_sentences_are_longer(synthesizer):
+    short = synthesizer.synthesize("open")
+    long = synthesizer.synthesize("open the front door right now please")
+    assert long.duration > short.duration
+
+
+def test_phoneme_exemplar_durations(synthesizer):
+    vowel = synthesizer.phoneme_exemplar("AA", duration=0.1)
+    assert len(vowel) == pytest.approx(0.1 * synthesizer.sample_rate, rel=0.05)
+    silence = synthesizer.phoneme_exemplar(SILENCE, duration=0.1)
+    assert np.abs(silence).max() < 0.05
+
+
+def test_vowel_exemplar_has_low_frequency_energy(synthesizer):
+    vowel = synthesizer.phoneme_exemplar("AA", duration=0.12)
+    fricative = synthesizer.phoneme_exemplar("S", duration=0.12)
+    freqs_v = np.fft.rfftfreq(len(vowel), 1 / synthesizer.sample_rate)
+    freqs_f = np.fft.rfftfreq(len(fricative), 1 / synthesizer.sample_rate)
+    spectrum_v = np.abs(np.fft.rfft(vowel))
+    spectrum_f = np.abs(np.fft.rfft(fricative))
+    centroid_v = (freqs_v * spectrum_v).sum() / spectrum_v.sum()
+    centroid_f = (freqs_f * spectrum_f).sum() / spectrum_f.sum()
+    assert centroid_v < centroid_f
+
+
+def test_random_speaker_profiles_vary():
+    rng = np.random.default_rng(0)
+    profiles = [SpeakerProfile.random(rng) for _ in range(5)]
+    pitches = {p.pitch_hz for p in profiles}
+    assert len(pitches) == 5

@@ -1,0 +1,106 @@
+"""Tests for the Waveform type, WAV I/O, noise and perturbation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio.metrics import (
+    relative_perturbation,
+    signal_to_noise_ratio_db,
+    similarity_percent,
+)
+from repro.audio.noise import add_noise_snr, pink_noise, white_noise
+from repro.audio.waveform import Waveform
+from repro.audio.wavio import read_wav, write_wav
+
+
+def _wave(samples, **kwargs):
+    return Waveform(samples=np.asarray(samples, dtype=float), **kwargs)
+
+
+def test_waveform_validation():
+    with pytest.raises(ValueError):
+        Waveform(samples=np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        Waveform(samples=np.zeros(4), sample_rate=0)
+
+
+def test_waveform_properties():
+    wave = _wave([0.0, 0.5, -0.5, 0.0], sample_rate=4)
+    assert len(wave) == 4
+    assert wave.duration == 1.0
+    assert wave.peak == 0.5
+    assert 0 < wave.rms < 0.5
+
+
+def test_waveform_ops_are_functional():
+    wave = _wave([0.2, -0.2])
+    clipped = wave.clipped(0.1)
+    assert clipped.peak == pytest.approx(0.1)
+    assert wave.peak == pytest.approx(0.2)
+    assert wave.with_label("x").label == "x"
+    assert wave.with_text("hi").text == "hi"
+
+
+def test_padding_and_mixing():
+    a = _wave([1.0, 1.0])
+    b = _wave([0.5])
+    mixed = a.mixed_with(b, gain=2.0)
+    assert np.allclose(mixed.samples, [2.0, 1.0])
+    assert len(a.padded_to(5)) == 5
+    assert len(a.padded_to(1)) == 1
+
+
+def test_mixing_rejects_rate_mismatch():
+    with pytest.raises(ValueError):
+        _wave([1.0]).mixed_with(_wave([1.0], sample_rate=8000))
+
+
+def test_normalized_peak():
+    wave = _wave([0.1, -0.2]).normalized(0.9)
+    assert wave.peak == pytest.approx(0.9)
+
+
+@settings(max_examples=25)
+@given(st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=400))
+def test_wav_roundtrip(samples, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("wav") / "clip.wav")
+    original = _wave(samples)
+    write_wav(path, original)
+    loaded = read_wav(path)
+    assert loaded.sample_rate == original.sample_rate
+    assert np.allclose(loaded.samples, np.clip(original.samples, -1, 1), atol=1e-3)
+
+
+def test_read_wav_rejects_garbage(tmp_path):
+    path = tmp_path / "not_a_wav.wav"
+    path.write_bytes(b"hello world, definitely not RIFF data")
+    with pytest.raises(ValueError):
+        read_wav(str(path))
+
+
+def test_noise_generators(rng):
+    assert white_noise(0, rng).shape == (0,)
+    noise = white_noise(4096, rng)
+    assert noise.std() == pytest.approx(1.0, rel=0.1)
+    pink = pink_noise(4096, rng)
+    assert pink.std() == pytest.approx(1.0, rel=0.2)
+
+
+def test_add_noise_snr_hits_target(rng):
+    clean = _wave(np.sin(np.linspace(0, 200 * np.pi, 16000)))
+    noisy = add_noise_snr(clean, snr_db=-6.0, rng=rng)
+    achieved = signal_to_noise_ratio_db(clean, noisy)
+    assert achieved == pytest.approx(-6.0, abs=1.0)
+    assert noisy.label == "nontargeted-ae"
+
+
+def test_perturbation_metrics():
+    clean = _wave(np.ones(100))
+    same = _wave(np.ones(100))
+    assert similarity_percent(clean, same) == pytest.approx(100.0)
+    assert relative_perturbation(clean, same) == 0.0
+    shifted = _wave(np.ones(100) * 1.01)
+    assert 98.0 < similarity_percent(clean, shifted) < 100.0
+    assert signal_to_noise_ratio_db(clean, same) == float("inf")

@@ -1,0 +1,71 @@
+"""Tests for the related-work baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hvc_logistic import HiddenVoiceCommandDetector, acoustic_statistics
+from repro.baselines.preprocessing import PreprocessingDetector, smooth_and_quantize
+from repro.baselines.temporal_dependency import TemporalDependencyDetector
+from repro.audio.noise import add_noise_snr
+
+
+def test_temporal_dependency_benign_is_consistent(ds0, benign_waveform):
+    detector = TemporalDependencyDetector(ds0, threshold=0.3)
+    score = detector.consistency_score(benign_waveform)
+    assert 0.0 <= score <= 1.0
+    assert not detector.is_adversarial(benign_waveform)
+
+
+def test_temporal_dependency_threshold_validation(ds0):
+    with pytest.raises(ValueError):
+        TemporalDependencyDetector(ds0, threshold=1.5)
+
+
+def test_temporal_dependency_adaptive_section(ds0, benign_waveform):
+    text = TemporalDependencyDetector(ds0).adaptive_attack_section(benign_waveform)
+    assert isinstance(text, str)
+
+
+def test_smooth_and_quantize_properties():
+    samples = np.linspace(-1, 1, 1000)
+    processed = smooth_and_quantize(samples, kernel_size=5, levels=16)
+    assert processed.shape == samples.shape
+    assert len(np.unique(np.round(processed, 6))) <= 20
+    with pytest.raises(ValueError):
+        smooth_and_quantize(samples, kernel_size=0)
+    with pytest.raises(ValueError):
+        smooth_and_quantize(samples, levels=1)
+
+
+def test_preprocessing_detector_on_benign(ds0, benign_waveform):
+    detector = PreprocessingDetector(ds0, threshold=0.2)
+    score = detector.drift_score(benign_waveform)
+    assert 0.0 <= score <= 1.0
+    assert isinstance(detector.is_adversarial(benign_waveform), bool)
+
+
+def test_acoustic_statistics_shape_and_empty():
+    from repro.audio.waveform import Waveform
+
+    stats = acoustic_statistics(Waveform(samples=np.zeros(0)))
+    assert stats.shape == (5,)
+    noisy = acoustic_statistics(
+        Waveform(samples=np.random.default_rng(0).standard_normal(8000) * 0.1))
+    assert np.all(np.isfinite(noisy))
+
+
+def test_hvc_detector_separates_speech_from_noise(synthesizer, rng):
+    speech = [synthesizer.synthesize(s) for s in
+              ("please call me later tonight", "the weather is nice today",
+               "see you tomorrow morning", "the coffee is still warm")]
+    noise = [add_noise_snr(w, -20.0, rng) for w in speech]
+    audios = speech + noise
+    labels = np.array([0] * len(speech) + [1] * len(noise))
+    detector = HiddenVoiceCommandDetector().fit(audios, labels)
+    predictions = detector.predict(audios)
+    assert (predictions == labels).mean() >= 0.75
+
+
+def test_hvc_detector_unfitted_raises(benign_waveform):
+    with pytest.raises(RuntimeError):
+        HiddenVoiceCommandDetector().predict([benign_waveform])

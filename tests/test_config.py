@@ -1,0 +1,51 @@
+"""Tests for repro.config."""
+
+import pytest
+
+from repro.config import PAPER, SMALL, TINY, ReproScale, get_scale, runtime
+
+
+def test_presets_have_expected_ordering():
+    assert TINY.n_benign < SMALL.n_benign < PAPER.n_benign
+    assert PAPER.n_benign == 2400
+    assert PAPER.n_whitebox == 1800
+    assert PAPER.n_blackbox == 600
+
+
+def test_adversarial_total():
+    assert TINY.n_adversarial == TINY.n_whitebox + TINY.n_blackbox
+
+
+def test_scaled_factor():
+    scaled = SMALL.scaled(0.5)
+    assert scaled.n_benign == SMALL.n_benign // 2
+    assert scaled.n_whitebox == SMALL.n_whitebox // 2
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        SMALL.scaled(0)
+
+
+def test_get_scale_by_name():
+    assert get_scale("tiny") is TINY
+    assert get_scale("paper") is PAPER
+
+
+def test_get_scale_unknown_name():
+    with pytest.raises(KeyError):
+        get_scale("gigantic")
+
+
+def test_get_scale_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    assert get_scale() is TINY
+
+
+def test_runtime_singleton():
+    assert runtime() is runtime()
+
+
+def test_scale_is_frozen():
+    with pytest.raises(Exception):
+        TINY.n_benign = 5

@@ -1,0 +1,98 @@
+"""Tests for the MVP-EARS detector, threshold detector and score features."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import MVPEarsDetector
+from repro.core.features import score_vector, scores_from_transcriptions
+from repro.core.threshold import ThresholdDetector
+
+
+def _synthetic_scores(rng, n=60):
+    benign = rng.uniform(0.85, 1.0, size=(n, 3))
+    adversarial = rng.uniform(0.0, 0.45, size=(n, 3))
+    features = np.vstack([benign, adversarial])
+    labels = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    return features, labels
+
+
+def test_detector_requires_auxiliaries(ds0):
+    with pytest.raises(ValueError):
+        MVPEarsDetector(ds0, [])
+
+
+def test_detector_system_name(ds0, asr_suite):
+    detector = MVPEarsDetector(ds0, [asr_suite["DS1"], asr_suite["GCS"]])
+    assert detector.system_name == "DS0+{DS1, GCS}"
+    assert detector.n_features == 2
+
+
+def test_detector_fit_features_validation(ds0, asr_suite, rng):
+    detector = MVPEarsDetector(ds0, [asr_suite["DS1"]])
+    with pytest.raises(ValueError):
+        detector.fit_features(rng.random((10, 3)), np.zeros(10))
+
+
+def test_detector_predict_before_fit_raises(ds0, asr_suite, benign_waveform):
+    detector = MVPEarsDetector(ds0, [asr_suite["DS1"]])
+    with pytest.raises(RuntimeError):
+        detector.detect(benign_waveform)
+
+
+def test_detector_on_synthetic_scores(ds0, asr_suite, rng):
+    detector = MVPEarsDetector(ds0, [asr_suite["DS1"], asr_suite["GCS"],
+                                     asr_suite["AT"]])
+    features, labels = _synthetic_scores(rng)
+    detector.fit_features(features, labels)
+    report = detector.evaluate_features(features, labels)
+    assert report.accuracy > 0.97
+    predictions = detector.predict_features(np.array([[0.95, 0.9, 0.97],
+                                                      [0.1, 0.2, 0.15]]))
+    assert predictions.tolist() == [0, 1]
+
+
+def test_detector_end_to_end_detect(ds0, asr_suite, benign_waveform, rng):
+    detector = MVPEarsDetector(ds0, [asr_suite["DS1"]])
+    features, labels = _synthetic_scores(rng)
+    detector.fit_features(features[:, :1], labels)
+    result = detector.detect(benign_waveform)
+    assert result.is_adversarial in (True, False)
+    assert result.scores.shape == (1,)
+    assert set(result.timing) >= {"recognition", "similarity", "classification"}
+    assert result.target_transcription
+    assert "DS1" in result.auxiliary_transcriptions
+
+
+def test_score_vector_matches_manual(ds0, asr_suite, benign_waveform):
+    aux = [asr_suite["DS1"]]
+    vector = score_vector(benign_waveform, ds0, aux)
+    manual = scores_from_transcriptions(
+        ds0.transcribe(benign_waveform).text,
+        [asr_suite["DS1"].transcribe(benign_waveform).text])
+    assert np.allclose(vector, manual)
+    assert 0.0 <= vector[0] <= 1.0
+
+
+def test_threshold_detector_fit_and_rates(rng):
+    benign = rng.uniform(0.8, 1.0, size=(200, 3))
+    adversarial = rng.uniform(0.0, 0.5, size=(100, 3))
+    detector = ThresholdDetector().fit_benign(benign, max_fpr=0.05)
+    assert detector.threshold > 0.5
+    assert detector.false_positive_rate(benign) <= 0.05
+    assert detector.defense_rate(adversarial) > 0.95
+
+
+def test_threshold_detector_validation(rng):
+    with pytest.raises(RuntimeError):
+        ThresholdDetector().predict(rng.random((3, 2)))
+    with pytest.raises(ValueError):
+        ThresholdDetector().fit_benign(np.zeros((0, 3)))
+    with pytest.raises(ValueError):
+        ThresholdDetector().fit_benign(rng.random((5, 3)), max_fpr=1.5)
+
+
+def test_threshold_detector_1d_scores(rng):
+    detector = ThresholdDetector(threshold=0.7)
+    scores = np.array([0.9, 0.5, 0.71])
+    assert detector.predict(scores).tolist() == [0, 1, 0]
+    assert np.allclose(detector.decision_scores(scores), -scores)

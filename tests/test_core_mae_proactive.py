@@ -1,0 +1,92 @@
+"""Tests for MAE AE synthesis and the comprehensive proactive detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.mae import (
+    MAE_TYPES,
+    MaeAeType,
+    ScorePools,
+    collect_score_pools,
+    synthesize_mae_features,
+)
+from repro.core.proactive import ComprehensiveDetector
+
+
+@pytest.fixture(scope="module")
+def pools():
+    rng = np.random.default_rng(0)
+    return ScorePools(benign=rng.uniform(0.85, 1.0, 500),
+                      adversarial=rng.uniform(0.0, 0.4, 500))
+
+
+def test_mae_types_table9_structure():
+    assert len(MAE_TYPES) == 6
+    # Types 1-3 fool one auxiliary, Types 4-6 fool two.
+    for name in ("Type-1", "Type-2", "Type-3"):
+        assert len(MAE_TYPES[name].fooled_auxiliaries) == 1
+    for name in ("Type-4", "Type-5", "Type-6"):
+        assert len(MAE_TYPES[name].fooled_auxiliaries) == 2
+    assert MAE_TYPES["Type-4"].label() == "AE(DS0,DS1,GCS)"
+    assert MAE_TYPES["Type-3"].label() == "AE(DS0,AT)"
+
+
+def test_score_pools_validation():
+    with pytest.raises(ValueError):
+        ScorePools(benign=np.array([]), adversarial=np.array([0.1]))
+
+
+def test_collect_score_pools_flattens():
+    pools = collect_score_pools(np.ones((4, 3)), np.zeros((2, 3)))
+    assert pools.benign.shape == (12,)
+    assert pools.adversarial.shape == (6,)
+
+
+def test_synthesize_mae_features_structure(pools):
+    features = synthesize_mae_features("Type-5", pools, 200, seed=3)
+    assert features.shape == (200, 3)
+    # Type-5 fools DS1 (column 0) and AT (column 2): those columns look
+    # benign (high), GCS (column 1) looks adversarial (low).
+    assert features[:, 0].mean() > 0.8
+    assert features[:, 2].mean() > 0.8
+    assert features[:, 1].mean() < 0.5
+
+
+def test_synthesize_mae_features_validation(pools):
+    with pytest.raises(ValueError):
+        synthesize_mae_features("Type-1", pools, 0)
+    with pytest.raises(ValueError):
+        synthesize_mae_features(MaeAeType("bad", (5,)), pools, 10)
+    with pytest.raises(KeyError):
+        synthesize_mae_features("Type-9", pools, 10)
+
+
+def test_comprehensive_detector_defends_weaker_types(pools):
+    rng = np.random.default_rng(1)
+    benign_features = rng.uniform(0.85, 1.0, size=(400, 3))
+    detector = ComprehensiveDetector(classifier="SVM", seed=2)
+    detector.fit(pools, benign_features, n_per_type=300)
+
+    original = rng.uniform(0.0, 0.4, size=(200, 3))
+    assert detector.defense_rate(original) > 0.95
+    for name in ("Type-1", "Type-2", "Type-3"):
+        features = synthesize_mae_features(name, pools, 200, seed=7)
+        assert detector.defense_rate(features) > 0.9, name
+
+    report = detector.evaluate(benign_features, np.zeros(benign_features.shape[0]))
+    assert report.fpr < 0.15
+
+
+def test_comprehensive_detector_unfitted_raises(pools):
+    detector = ComprehensiveDetector()
+    with pytest.raises(RuntimeError):
+        detector.predict(np.zeros((2, 3)))
+
+
+def test_training_set_is_balanced(pools):
+    detector = ComprehensiveDetector(seed=3)
+    benign = np.random.default_rng(4).uniform(0.8, 1.0, size=(50, 3))
+    features, labels = detector.build_training_set(pools, benign, n_per_type=100)
+    assert features.shape[0] == labels.shape[0]
+    assert (labels == 1).sum() == 300
+    assert (labels == 0).sum() == 300

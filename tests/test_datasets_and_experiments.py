@@ -1,0 +1,174 @@
+"""Integration tests: dataset builders, scored datasets and experiments.
+
+These tests exercise the full pipeline on the ``tiny`` scale preset.  The
+first run generates the datasets (cached on disk afterwards), so this module
+is the slowest part of the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import TINY
+from repro.datasets.scores import AUXILIARY_ORDER
+from repro.experiments import (
+    run_figure4_histograms,
+    run_figure5_roc,
+    run_nontargeted_detection,
+    run_table2_dataset_summary,
+    run_table3_similarity_methods,
+    run_table4_single_auxiliary,
+    run_table5_multi_auxiliary,
+    run_table6_asr_count_impact,
+    run_table7_threshold_detector,
+    run_table8_cross_attack,
+    run_table10_mae_accuracy,
+    run_table11_cross_type_defense,
+    run_table12_comprehensive,
+)
+from repro.experiments.runner import format_table
+from repro.experiments.transferability import run_transferability_study
+
+
+def test_bundle_sizes_match_scale(tiny_bundle):
+    summary = tiny_bundle.summary()
+    assert summary["benign"] == TINY.n_benign
+    assert summary["whitebox"] == TINY.n_whitebox
+    assert summary["blackbox"] == TINY.n_blackbox
+    assert summary["nontargeted"] == TINY.n_nontargeted
+    assert len(tiny_bundle.adversarial) == TINY.n_adversarial
+
+
+def test_every_ae_fools_the_target_model(tiny_bundle, ds0):
+    """The paper verifies that all AEs fool DS0; so does the builder."""
+    for sample in tiny_bundle.adversarial:
+        command = sample.waveform.metadata.get("target_text")
+        assert command
+        assert ds0.transcribe(sample.waveform).text == command
+
+
+def test_scored_dataset_consistency(tiny_dataset):
+    assert len(tiny_dataset) == (TINY.n_benign + TINY.n_adversarial
+                                 + TINY.n_nontargeted)
+    assert tiny_dataset.scores.shape == (len(tiny_dataset), 3)
+    assert np.all((0.0 <= tiny_dataset.scores) & (tiny_dataset.scores <= 1.0))
+    benign = tiny_dataset.benign_features()
+    adversarial = tiny_dataset.adversarial_features()
+    assert benign.shape[0] == TINY.n_benign
+    assert adversarial.shape[0] == TINY.n_adversarial
+
+
+def test_benign_scores_exceed_adversarial_scores(tiny_dataset):
+    """The core feasibility claim (Figure 4): benign similarity > AE similarity."""
+    benign = tiny_dataset.benign_features()
+    adversarial = tiny_dataset.adversarial_features()
+    assert benign.mean() > adversarial.mean() + 0.1
+    # The minimum score across auxiliaries separates even better.
+    assert benign.min(axis=1).mean() > adversarial.min(axis=1).mean() + 0.1
+
+
+def test_features_for_other_method_recomputes(tiny_dataset):
+    jaccard, labels = tiny_dataset.features_for(("DS1",), method="Jaccard")
+    default, _ = tiny_dataset.features_for(("DS1",))
+    assert jaccard.shape == default.shape
+    assert labels.shape[0] == jaccard.shape[0]
+    assert not np.allclose(jaccard, default)
+
+
+def test_table2_summary(tiny_dataset):
+    table = run_table2_dataset_summary(tiny_dataset)
+    sizes = {row["dataset"]: row["samples"] for row in table.rows}
+    assert sizes["Benign"] == TINY.n_benign
+    assert sizes["White-box AEs"] == TINY.n_whitebox
+
+
+def test_figure4_histograms(tiny_dataset):
+    results = run_figure4_histograms(tiny_dataset)
+    assert len(results) == 3
+    for result in results:
+        assert result.benign_counts.sum() == TINY.n_benign
+        assert result.adversarial_counts.sum() == TINY.n_adversarial
+        assert result.overlap_fraction < 0.8
+
+
+def test_table3_similarity_methods(tiny_dataset):
+    table = run_table3_similarity_methods(tiny_dataset)
+    assert len(table.rows) == 6 * 4
+    for row in table.rows:
+        assert 0.0 <= row["accuracy"] <= 1.0
+    assert "PE_JaroWinkler" in {row["method"] for row in table.rows}
+
+
+def test_table4_and_table5_accuracy_shape(tiny_dataset):
+    table4 = run_table4_single_auxiliary(tiny_dataset, n_splits=3)
+    table5 = run_table5_multi_auxiliary(tiny_dataset, n_splits=3)
+    assert len(table4.rows) == 9       # 3 classifiers x 3 systems
+    assert len(table5.rows) == 12      # 3 classifiers x 4 systems
+    best_single = max(row["accuracy_mean"] for row in table4.rows)
+    best_multi = max(row["accuracy_mean"] for row in table5.rows)
+    assert best_multi >= best_single - 0.05
+    assert best_multi > 0.7
+
+
+def test_table6_asr_count(tiny_dataset):
+    table = run_table6_asr_count_impact(tiny_dataset, n_splits=3)
+    assert len(table.rows) == 7
+    assert {row["n_auxiliaries"] for row in table.rows} == {1, 2, 3}
+
+
+def test_table7_and_figure5_unseen_attacks(tiny_dataset):
+    table = run_table7_threshold_detector(tiny_dataset)
+    assert len(table.rows) == 3
+    for row in table.rows:
+        assert row["fpr"] <= 0.05 + 1e-9
+        assert row["defense_rate"] >= 0.5
+    roc = run_figure5_roc(tiny_dataset)
+    for curve in roc:
+        assert 0.5 <= curve.auc <= 1.0
+
+
+def test_table8_cross_attack(tiny_dataset):
+    table = run_table8_cross_attack(tiny_dataset)
+    assert len(table.rows) == 4
+    for row in table.rows:
+        assert 0.0 <= row["defense_rate_blackbox"] <= 1.0
+        assert 0.0 <= row["defense_rate_whitebox"] <= 1.0
+
+
+def test_mae_tables(tiny_dataset):
+    table10 = run_table10_mae_accuracy(tiny_dataset, n_per_type=TINY.n_mae_per_type)
+    assert len(table10.rows) == 6
+    assert all(row["accuracy"] > 0.6 for row in table10.rows)
+
+    table11 = run_table11_cross_type_defense(tiny_dataset,
+                                             n_per_type=TINY.n_mae_per_type)
+    assert len(table11.rows) == 7
+    # Training on Type-4 (fools DS1+GCS) must defend Type-1 (fools DS1 only).
+    type4_row = next(row for row in table11.rows if row["trained_on"] == "Type-4")
+    assert type4_row["Type-1"] > 0.8
+
+    table12 = run_table12_comprehensive(tiny_dataset, n_per_type=TINY.n_mae_per_type)
+    rates = [row["defense_rate"] for row in table12.rows
+             if not np.isnan(row["defense_rate"])]
+    assert len(rates) == 4
+    assert min(rates) > 0.8
+
+
+def test_nontargeted_detection(tiny_dataset):
+    table = run_nontargeted_detection(tiny_dataset)
+    assert len(table.rows) == 3
+    assert all(row["defense_rate"] >= 0.5 for row in table.rows)
+
+
+def test_transferability_study(tiny_bundle):
+    table = run_transferability_study(tiny_bundle, max_aes=TINY.n_whitebox)
+    rates = {row["asr"]: row["transfer_rate"] for row in table.rows}
+    assert rates["DS0"] == 1.0
+    for name in AUXILIARY_ORDER:
+        assert rates[name] <= 0.25, f"AEs transfer to {name} too often"
+
+
+def test_format_table_renders_markdown(tiny_dataset):
+    table = run_table2_dataset_summary(tiny_dataset)
+    markdown = table.to_markdown()
+    assert "|" in markdown and "Benign" in markdown
+    assert format_table([]) == "(no rows)\n"

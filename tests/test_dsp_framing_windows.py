@@ -1,0 +1,89 @@
+"""Tests for framing, windows, mel filterbank and DCT."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsp.dct import dct_matrix
+from repro.dsp.framing import frame_signal, num_frames, overlap_add
+from repro.dsp.mel import hz_to_mel, mel_filterbank, mel_to_hz
+from repro.dsp.windows import hamming_window, hann_window
+
+
+def test_num_frames_basic():
+    assert num_frames(400, 400, 160) == 1
+    assert num_frames(560, 400, 160) == 2
+    assert num_frames(100, 400, 160) == 0
+
+
+def test_num_frames_invalid():
+    with pytest.raises(ValueError):
+        num_frames(100, 0, 10)
+
+
+def test_frame_signal_shape_and_content():
+    signal = np.arange(1000, dtype=float)
+    frames = frame_signal(signal, 400, 160)
+    assert frames.shape[1] == 400
+    assert np.array_equal(frames[0], signal[:400])
+    assert np.array_equal(frames[1][:240], signal[160:400])
+
+
+def test_frame_signal_pads_short_input():
+    frames = frame_signal(np.ones(100), 400, 160)
+    assert frames.shape == (1, 400)
+    assert frames[0, :100].sum() == 100
+
+
+def test_frame_signal_rejects_2d():
+    with pytest.raises(ValueError):
+        frame_signal(np.ones((10, 10)), 4, 2)
+
+
+def test_overlap_add_inverts_non_overlapping_framing():
+    signal = np.random.default_rng(0).standard_normal(800)
+    frames = frame_signal(signal, 200, 200)
+    reconstructed = overlap_add(frames, 200, n_samples=800)
+    assert np.allclose(reconstructed, signal)
+
+
+@given(st.integers(min_value=2, max_value=512))
+def test_windows_bounded(length):
+    for window in (hamming_window(length), hann_window(length)):
+        assert window.shape == (length,)
+        assert np.all(window <= 1.0 + 1e-12)
+        assert np.all(window >= -1e-12)
+
+
+def test_window_invalid_length():
+    with pytest.raises(ValueError):
+        hamming_window(0)
+
+
+def test_mel_roundtrip():
+    freqs = np.array([0.0, 100.0, 1000.0, 8000.0])
+    assert np.allclose(mel_to_hz(hz_to_mel(freqs)), freqs)
+
+
+def test_mel_filterbank_shape_and_coverage():
+    bank = mel_filterbank(26, 512, 16000)
+    assert bank.shape == (26, 257)
+    assert np.all(bank >= 0)
+    assert np.all(bank.sum(axis=1) > 0)
+
+
+def test_mel_filterbank_invalid_range():
+    with pytest.raises(ValueError):
+        mel_filterbank(10, 512, 16000, f_min=9000.0)
+
+
+def test_dct_matrix_orthonormal_rows():
+    matrix = dct_matrix(13, 26)
+    gram = matrix @ matrix.T
+    assert np.allclose(gram, np.eye(13), atol=1e-10)
+
+
+def test_dct_matrix_invalid():
+    with pytest.raises(ValueError):
+        dct_matrix(30, 26)

@@ -1,0 +1,76 @@
+"""Tests for LPC analysis and the feature-extractor front ends."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.features import (
+    LogMelFeatureExtractor,
+    LpcFeatureExtractor,
+    MfccFeatureExtractor,
+)
+from repro.dsp.lpc import lpc_cepstra, lpc_coefficients, lpc_coefficients_batch
+
+
+def test_lpc_recovers_ar_process():
+    # Synthesise an AR(2) process and check the LPC coefficients match.
+    rng = np.random.default_rng(0)
+    true = np.array([1.3, -0.4])
+    signal = np.zeros(4000)
+    noise = rng.standard_normal(4000) * 0.01
+    for i in range(2, 4000):
+        signal[i] = true[0] * signal[i - 1] + true[1] * signal[i - 2] + noise[i]
+    estimated = lpc_coefficients(signal[500:1500], order=2)
+    assert np.allclose(estimated, true, atol=0.1)
+
+
+def test_lpc_silent_frame_is_zero():
+    assert np.allclose(lpc_coefficients(np.zeros(400), 10), 0.0)
+
+
+def test_lpc_batch_matches_single():
+    rng = np.random.default_rng(1)
+    frames = rng.standard_normal((4, 400))
+    batch = lpc_coefficients_batch(frames, 8)
+    for i in range(4):
+        assert np.allclose(batch[i], lpc_coefficients(frames[i], 8), atol=1e-8)
+
+
+def test_lpc_validation():
+    with pytest.raises(ValueError):
+        lpc_coefficients(np.zeros(5), 10)
+    with pytest.raises(ValueError):
+        lpc_coefficients_batch(np.zeros((2, 400)), 0)
+
+
+def test_lpc_cepstra_shape_and_energy_column():
+    rng = np.random.default_rng(2)
+    frames = rng.standard_normal((3, 400))
+    cepstra = lpc_cepstra(frames, 12)
+    assert cepstra.shape == (3, 13)
+    quiet = lpc_cepstra(frames * 1e-4, 12)
+    assert np.all(quiet[:, -1] < cepstra[:, -1])
+
+
+@pytest.mark.parametrize("extractor", [
+    MfccFeatureExtractor(),
+    LogMelFeatureExtractor(),
+    LogMelFeatureExtractor(n_ceps=20, per_frame_normalization=False),
+    LpcFeatureExtractor(style="cepstrum"),
+    LpcFeatureExtractor(style="envelope"),
+])
+def test_front_ends_produce_finite_features(extractor):
+    signal = np.random.default_rng(3).standard_normal(8000) * 0.1
+    features = extractor.transform(signal)
+    assert features.shape[1] == extractor.feature_dim
+    assert features.shape[0] > 0
+    assert np.all(np.isfinite(features))
+
+
+def test_front_ends_empty_signal():
+    extractor = LogMelFeatureExtractor()
+    assert extractor.transform(np.zeros(10)).shape[0] >= 0
+
+
+def test_lpc_extractor_rejects_unknown_style():
+    with pytest.raises(ValueError):
+        LpcFeatureExtractor(style="wavelet")

@@ -1,0 +1,64 @@
+"""Tests for the MFCC extractor and its analytic gradient."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.mfcc import MfccConfig, MfccExtractor
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return MfccExtractor(MfccConfig(frame_length=256, hop_length=128, n_fft=256,
+                                    n_mels=20, n_mfcc=10))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MfccConfig(frame_length=512, n_fft=256)
+    with pytest.raises(ValueError):
+        MfccConfig(n_mels=10, n_mfcc=20)
+
+
+def test_transform_shape(extractor):
+    signal = np.random.default_rng(0).standard_normal(4000)
+    features = extractor.transform(signal)
+    assert features.shape[1] == 10
+    assert features.shape[0] > 0
+    assert np.all(np.isfinite(features))
+
+
+def test_transform_frames_matches_transform(extractor):
+    signal = np.random.default_rng(1).standard_normal(2000)
+    frames = extractor.frames(signal)
+    assert np.allclose(extractor.transform(signal), extractor.transform_frames(frames))
+
+
+def test_gradient_matches_finite_differences(extractor):
+    rng = np.random.default_rng(2)
+    frames = rng.standard_normal((3, 256)) * 0.1
+    tape = extractor.forward_with_tape(frames)
+    grad_out = rng.standard_normal(tape.mfcc.shape)
+    analytic = tape.backward(grad_out)
+
+    # Finite-difference check on a handful of sample positions.
+    epsilon = 1e-6
+    for frame_idx, sample_idx in [(0, 10), (1, 100), (2, 200), (0, 255)]:
+        perturbed = frames.copy()
+        perturbed[frame_idx, sample_idx] += epsilon
+        plus = (extractor.transform_frames(perturbed) * grad_out).sum()
+        perturbed[frame_idx, sample_idx] -= 2 * epsilon
+        minus = (extractor.transform_frames(perturbed) * grad_out).sum()
+        numeric = (plus - minus) / (2 * epsilon)
+        assert np.isclose(analytic[frame_idx, sample_idx], numeric, rtol=1e-3, atol=1e-6)
+
+
+def test_backward_rejects_wrong_shape(extractor):
+    frames = np.zeros((2, 256))
+    tape = extractor.forward_with_tape(frames)
+    with pytest.raises(ValueError):
+        tape.backward(np.zeros((3, 10)))
+
+
+def test_silence_gives_finite_features(extractor):
+    features = extractor.transform(np.zeros(2000))
+    assert np.all(np.isfinite(features))

@@ -1,0 +1,131 @@
+"""Tests for the from-scratch classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNNClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.registry import CLASSIFIER_NAMES, build_classifier
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import KernelSVMClassifier, SVMClassifier, polynomial_feature_map
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _blobs(n=120, seed=0, gap=2.0):
+    rng = np.random.default_rng(seed)
+    benign = rng.normal(loc=[gap, gap], scale=0.5, size=(n // 2, 2))
+    adversarial = rng.normal(loc=[0.0, 0.0], scale=0.5, size=(n // 2, 2))
+    features = np.vstack([benign, adversarial])
+    labels = np.concatenate([np.zeros(n // 2, dtype=int), np.ones(n // 2, dtype=int)])
+    return features, labels
+
+
+def _circles(n=200, seed=1):
+    rng = np.random.default_rng(seed)
+    radius = np.concatenate([rng.uniform(0.0, 0.6, n // 2), rng.uniform(1.2, 1.8, n // 2)])
+    angle = rng.uniform(0, 2 * np.pi, n)
+    features = np.column_stack([radius * np.cos(angle), radius * np.sin(angle)])
+    labels = np.concatenate([np.ones(n // 2, dtype=int), np.zeros(n // 2, dtype=int)])
+    return features, labels
+
+
+ALL_CLASSIFIERS = [
+    SVMClassifier(degree=3),
+    KernelSVMClassifier(degree=3),
+    KNNClassifier(n_neighbors=5),
+    DecisionTreeClassifier(max_depth=6),
+    RandomForestClassifier(n_estimators=20, seed=200),
+    LogisticRegressionClassifier(),
+]
+
+
+@pytest.mark.parametrize("classifier", ALL_CLASSIFIERS, ids=lambda c: type(c).__name__)
+def test_separable_blobs(classifier):
+    features, labels = _blobs()
+    classifier.fit(features, labels)
+    assert classifier.score(features, labels) >= 0.95
+    predictions = classifier.predict(features)
+    assert set(np.unique(predictions)) <= {0, 1}
+
+
+@pytest.mark.parametrize("classifier", [
+    SVMClassifier(degree=3), KNNClassifier(5),
+    RandomForestClassifier(n_estimators=30, seed=200)],
+    ids=lambda c: type(c).__name__)
+def test_nonlinear_circles(classifier):
+    features, labels = _circles()
+    classifier.fit(features, labels)
+    assert classifier.score(features, labels) >= 0.85
+
+
+def test_polynomial_feature_map_dimensions():
+    features = np.ones((4, 2))
+    expanded = polynomial_feature_map(features, 3)
+    # 1 + 2 + 3 + 4 terms for degree 3 over 2 variables.
+    assert expanded.shape == (4, 10)
+
+
+def test_unfitted_classifiers_raise():
+    for classifier in (SVMClassifier(), KNNClassifier(), DecisionTreeClassifier(),
+                       RandomForestClassifier(n_estimators=2),
+                       LogisticRegressionClassifier(), KernelSVMClassifier()):
+        with pytest.raises(RuntimeError):
+            classifier.decision_function(np.zeros((1, 2)))
+
+
+def test_label_validation():
+    classifier = SVMClassifier()
+    with pytest.raises(ValueError):
+        classifier.fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+    with pytest.raises(ValueError):
+        classifier.fit(np.zeros((4, 2)), np.array([0, 1]))
+
+
+def test_one_dimensional_features_accepted():
+    features = np.concatenate([np.zeros(20), np.ones(20)])
+    labels = np.concatenate([np.ones(20, dtype=int), np.zeros(20, dtype=int)])
+    classifier = SVMClassifier().fit(features, labels)
+    assert classifier.score(features, labels) == 1.0
+
+
+def test_registry_builds_expected_types():
+    assert set(CLASSIFIER_NAMES) == {"SVM", "KNN", "RandomForest"}
+    assert isinstance(build_classifier("SVM"), SVMClassifier)
+    assert isinstance(build_classifier("KNN"), KNNClassifier)
+    assert isinstance(build_classifier("RandomForest"), RandomForestClassifier)
+    assert isinstance(build_classifier("LogisticRegression"), LogisticRegressionClassifier)
+    with pytest.raises(KeyError):
+        build_classifier("MLP")
+
+
+def test_random_forest_probabilities_in_unit_interval():
+    features, labels = _blobs()
+    forest = RandomForestClassifier(n_estimators=10, seed=200).fit(features, labels)
+    probabilities = forest.predict_proba(features)
+    assert np.all((0 <= probabilities) & (probabilities <= 1))
+
+
+def test_logistic_probabilities_monotone_in_score():
+    features, labels = _blobs()
+    model = LogisticRegressionClassifier().fit(features, labels)
+    scores = model.decision_function(features)
+    probs = model.predict_proba(features)
+    order = np.argsort(scores)
+    assert np.all(np.diff(probs[order]) >= -1e-9)
+
+
+def test_standard_scaler_roundtrip():
+    rng = np.random.default_rng(3)
+    data = rng.normal(5.0, 3.0, size=(50, 4))
+    scaler = StandardScaler()
+    transformed = scaler.fit_transform(data)
+    assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+    with pytest.raises(RuntimeError):
+        StandardScaler().transform(data)
+
+
+def test_knn_validation():
+    with pytest.raises(ValueError):
+        KNNClassifier(0)

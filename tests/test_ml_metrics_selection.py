@@ -1,0 +1,121 @@
+"""Tests for classification metrics, ROC/AUC and model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    auc,
+    classification_report,
+    confusion_counts,
+    defense_rate,
+    false_negative_rate,
+    false_positive_rate,
+    roc_curve,
+)
+from repro.ml.model_selection import KFold, cross_validate, train_test_split
+from repro.ml.svm import SVMClassifier
+
+
+def test_confusion_and_rates():
+    y_true = np.array([0, 0, 1, 1, 1])
+    y_pred = np.array([0, 1, 1, 1, 0])
+    counts = confusion_counts(y_true, y_pred)
+    assert counts == {"tp": 2, "tn": 1, "fp": 1, "fn": 1}
+    assert accuracy_score(y_true, y_pred) == pytest.approx(0.6)
+    assert false_positive_rate(y_true, y_pred) == pytest.approx(0.5)
+    assert false_negative_rate(y_true, y_pred) == pytest.approx(1 / 3)
+    assert defense_rate(y_true, y_pred) == pytest.approx(2 / 3)
+
+
+def test_rates_with_missing_classes():
+    assert false_positive_rate(np.ones(3), np.ones(3)) == 0.0
+    assert false_negative_rate(np.zeros(3), np.zeros(3)) == 0.0
+    assert defense_rate(np.zeros(3), np.zeros(3)) == 0.0
+
+
+def test_classification_report_counts():
+    report = classification_report(np.array([0, 1, 1]), np.array([0, 1, 0]))
+    assert report.n_samples == 3
+    assert report.n_positive == 2
+    assert report.n_negative == 1
+    assert "accuracy" in report.as_dict()
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        accuracy_score(np.zeros(3), np.zeros(4))
+
+
+def test_roc_perfect_separation():
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9, 0.95])
+    fpr, tpr, _ = roc_curve(labels, scores)
+    assert auc(fpr, tpr) == pytest.approx(1.0)
+
+
+def test_roc_random_scores_auc_near_half():
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, 2, 2000)
+    scores = rng.random(2000)
+    fpr, tpr, _ = roc_curve(labels, scores)
+    assert auc(fpr, tpr) == pytest.approx(0.5, abs=0.05)
+
+
+@given(st.integers(min_value=10, max_value=60), st.integers(min_value=0, max_value=10_000))
+def test_roc_monotone(n, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, n)
+    if labels.min() == labels.max():
+        labels[0] = 1 - labels[0]
+    scores = rng.random(n)
+    fpr, tpr, _ = roc_curve(labels, scores)
+    assert np.all(np.diff(fpr) >= 0)
+    assert np.all(np.diff(tpr) >= 0)
+    assert fpr[0] == 0.0 and tpr[0] == 0.0
+    assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+
+
+def test_train_test_split_stratified():
+    features = np.arange(100)[:, None].astype(float)
+    labels = np.array([0] * 80 + [1] * 20)
+    train_x, test_x, train_y, test_y = train_test_split(features, labels,
+                                                        test_fraction=0.25, seed=3)
+    assert len(test_y) + len(train_y) == 100
+    assert 0.15 <= test_y.mean() <= 0.25
+    # No overlap between train and test.
+    assert not set(train_x.ravel()) & set(test_x.ravel())
+
+
+def test_train_test_split_validation():
+    with pytest.raises(ValueError):
+        train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.5)
+    with pytest.raises(ValueError):
+        train_test_split(np.zeros((4, 1)), np.zeros(3))
+
+
+def test_kfold_partitions_everything():
+    labels = np.array([0] * 20 + [1] * 15)
+    seen = np.zeros(35, dtype=int)
+    for train_idx, test_idx in KFold(n_splits=5, seed=1).split(labels):
+        assert len(set(train_idx) & set(test_idx)) == 0
+        seen[test_idx] += 1
+    assert np.all(seen == 1)
+
+
+def test_kfold_validation():
+    with pytest.raises(ValueError):
+        KFold(n_splits=1)
+
+
+def test_cross_validate_on_separable_data():
+    rng = np.random.default_rng(5)
+    features = np.vstack([rng.normal(0, 0.3, (40, 2)), rng.normal(3, 0.3, (40, 2))])
+    labels = np.array([0] * 40 + [1] * 40)
+    result = cross_validate(lambda: SVMClassifier(), features, labels, n_splits=4)
+    assert result.accuracy_mean > 0.9
+    assert result.accuracy_std < 0.2
+    assert set(result.summary()) == {"accuracy_mean", "accuracy_std", "fpr_mean",
+                                     "fpr_std", "fnr_mean", "fnr_std"}

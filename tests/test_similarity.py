@@ -1,0 +1,109 @@
+"""Tests for phonetic encodings, string metrics and the combined scorers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.phonetic import metaphone, phonetic_encode, soundex
+from repro.similarity.scorer import SIMILARITY_METHODS, get_scorer
+from repro.similarity.string_metrics import (
+    cosine_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_ratio,
+)
+
+_texts = st.text(alphabet="abcdefghij ", max_size=30)
+_metrics = [cosine_similarity, jaccard_similarity, jaro_similarity,
+            jaro_winkler_similarity, levenshtein_ratio]
+
+
+def test_soundex_known_values():
+    assert soundex("robert") == soundex("rupert")
+    assert soundex("open")[0] == "O"
+    assert len(soundex("door")) == 4
+    assert soundex("") == ""
+
+
+def test_metaphone_similar_sounding_words_collide():
+    assert metaphone("there") == metaphone("their")
+    assert metaphone("night") == metaphone("nite")
+    assert metaphone("") == ""
+
+
+def test_metaphone_distinguishes_different_words():
+    assert metaphone("door") != metaphone("cat")
+
+
+def test_phonetic_encode_sentences():
+    encoded = phonetic_encode("open the door")
+    assert len(encoded.split(" ")) == 3
+    with pytest.raises(ValueError):
+        phonetic_encode("open", algorithm="nope")
+
+
+def test_jaccard_and_cosine_word_level():
+    assert jaccard_similarity("open the door", "open the door") == 1.0
+    assert jaccard_similarity("open the door", "close a window") == 0.0
+    assert cosine_similarity("open the door", "open the window") > 0.5
+
+
+def test_jaro_winkler_known_behaviour():
+    assert jaro_winkler_similarity("martha", "marhta") > 0.9
+    assert jaro_winkler_similarity("abc", "abc") == 1.0
+    assert jaro_winkler_similarity("abc", "xyz") == 0.0
+    # The common-prefix bonus makes Jaro-Winkler >= Jaro.
+    assert jaro_winkler_similarity("prefix", "prefab") >= jaro_similarity("prefix", "prefab")
+
+
+def test_jaro_winkler_prefix_scale_validation():
+    with pytest.raises(ValueError):
+        jaro_winkler_similarity("a", "a", prefix_scale=0.5)
+
+
+@given(_texts, _texts)
+def test_metrics_bounded_and_symmetric(a, b):
+    for metric in _metrics:
+        value = metric(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert metric(a, b) == pytest.approx(metric(b, a))
+
+
+@given(_texts)
+def test_metrics_identity(a):
+    for metric in _metrics:
+        assert metric(a, a) == pytest.approx(1.0)
+
+
+def test_scorer_registry():
+    assert len(SIMILARITY_METHODS) == 6
+    scorer = get_scorer()
+    assert scorer.name == "PE_JaroWinkler"
+    with pytest.raises(KeyError):
+        get_scorer("nope")
+
+
+def test_scorer_benign_vs_adversarial_separation():
+    scorer = get_scorer()
+    benign = scorer.score("open the front door now", "open the front door now")
+    near = scorer.score("open the front door now", "open the front door no")
+    different = scorer.score("the old man walked slowly along the river",
+                             "send all my money to this account now please")
+    assert benign == pytest.approx(1.0)
+    assert near > different
+
+
+def test_phonetic_encoding_forgives_sound_alike_words():
+    with_pe = get_scorer("PE_JaroWinkler")
+    without_pe = get_scorer("JaroWinkler")
+    a = "there house is near"
+    b = "their house is near"
+    assert with_pe.score(a, b) >= without_pe.score(a, b)
+
+
+@given(_texts, _texts)
+def test_all_scorers_bounded(a, b):
+    for method in SIMILARITY_METHODS:
+        value = get_scorer(method).score(a, b)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,77 @@
+"""Tests for the corpora and the bigram language model."""
+
+import numpy as np
+import pytest
+
+from repro.text.corpus import (
+    SentenceCorpus,
+    attack_command_corpus,
+    combined_vocabulary,
+    commonvoice_like_corpus,
+    librispeech_like_corpus,
+)
+from repro.text.language_model import BigramLanguageModel
+from repro.text.normalize import tokenize
+
+
+def test_corpora_are_nonempty_and_normalized():
+    for corpus in (librispeech_like_corpus(), commonvoice_like_corpus(),
+                   attack_command_corpus(), attack_command_corpus(True)):
+        assert len(corpus) > 5
+        for sentence in corpus:
+            assert sentence == sentence.lower()
+            assert tokenize(sentence)
+
+
+def test_two_word_commands_have_two_words():
+    for command in attack_command_corpus(two_word_only=True):
+        assert len(tokenize(command)) == 2
+
+
+def test_empty_corpus_rejected():
+    with pytest.raises(ValueError):
+        SentenceCorpus("empty", ())
+
+
+def test_sampling_is_deterministic_per_seed():
+    corpus = librispeech_like_corpus()
+    a = corpus.sample(5, np.random.default_rng(3))
+    b = corpus.sample(5, np.random.default_rng(3))
+    assert a == b
+
+
+def test_sampling_with_replacement_when_exhausted():
+    corpus = attack_command_corpus(True)
+    samples = corpus.sample(len(corpus) + 10, np.random.default_rng(0))
+    assert len(samples) == len(corpus) + 10
+
+
+def test_combined_vocabulary_covers_corpora():
+    vocabulary = set(combined_vocabulary())
+    assert "door" in vocabulary
+    assert "weather" in vocabulary
+
+
+def test_language_model_prefers_seen_bigrams():
+    model = BigramLanguageModel(["open the door", "open the window"])
+    seen = model.bigram_logprob("open", "the")
+    unseen = model.bigram_logprob("open", "window")
+    assert seen > unseen
+
+
+def test_language_model_sentence_logprob_orders_sentences():
+    model = BigramLanguageModel(librispeech_like_corpus())
+    likely = model.sentence_logprob("the old man walked slowly along the river")
+    unlikely = model.sentence_logprob("river the along slowly walked man old the")
+    assert likely > unlikely
+
+
+def test_language_model_word_score_handles_unknowns():
+    model = BigramLanguageModel(["open the door"])
+    assert np.isfinite(model.word_score(None, "zebra"))
+    assert np.isfinite(model.word_score("zebra", "door"))
+
+
+def test_language_model_requires_positive_smoothing():
+    with pytest.raises(ValueError):
+        BigramLanguageModel(k=0.0)

@@ -1,0 +1,64 @@
+"""Tests for the grapheme-to-phoneme lexicon."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.lexicon import Lexicon, grapheme_to_phonemes
+from repro.text.phonemes import PHONEMES, SILENCE
+
+_words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+
+
+def test_known_word_pronunciations():
+    assert grapheme_to_phonemes("the") == ("DH", "AH")
+    assert grapheme_to_phonemes("door") == ("D", "AO", "R")
+    assert grapheme_to_phonemes("open")[0] == "OW"
+
+
+def test_digraph_rules():
+    assert "SH" in grapheme_to_phonemes("ship")
+    assert "CH" in grapheme_to_phonemes("chip")
+    assert "TH" in grapheme_to_phonemes("think")
+
+
+def test_empty_word():
+    assert grapheme_to_phonemes("") == ()
+
+
+def test_multi_word_raises():
+    with pytest.raises(ValueError):
+        grapheme_to_phonemes("two words")
+
+
+@given(_words)
+def test_grapheme_output_is_valid_phonemes(word):
+    for phoneme in grapheme_to_phonemes(word):
+        assert phoneme in PHONEMES
+
+
+@given(_words)
+def test_grapheme_deterministic(word):
+    assert grapheme_to_phonemes(word) == grapheme_to_phonemes(word)
+
+
+def test_lexicon_membership_and_growth():
+    lexicon = Lexicon(["open", "door"])
+    assert "open" in lexicon
+    assert "DOOR" in lexicon
+    assert len(lexicon) == 2
+    lexicon.add_sentences(["close the window"])
+    assert "window" in lexicon
+
+
+def test_lexicon_pronounce_on_demand():
+    lexicon = Lexicon()
+    assert lexicon.pronounce("garage") == grapheme_to_phonemes("garage")
+
+
+def test_pronounce_sentence_has_silence_boundaries():
+    lexicon = Lexicon()
+    phonemes = lexicon.pronounce_sentence("open door")
+    assert phonemes[0] == SILENCE
+    assert phonemes[-1] == SILENCE
+    assert phonemes.count(SILENCE) == 3

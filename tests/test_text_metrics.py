@@ -1,0 +1,62 @@
+"""Tests for WER / CER / edit distance."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.metrics import (
+    character_error_rate,
+    edit_distance,
+    transcription_matches,
+    word_error_rate,
+)
+
+_tokens = st.lists(st.sampled_from(["open", "the", "door", "now", "cat"]), max_size=8)
+
+
+def test_edit_distance_basics():
+    assert edit_distance("abc", "abc") == 0
+    assert edit_distance("abc", "abd") == 1
+    assert edit_distance("", "abc") == 3
+    assert edit_distance("abc", "") == 3
+
+
+def test_wer_exact_and_total_mismatch():
+    assert word_error_rate("open the door", "open the door") == 0.0
+    assert word_error_rate("open the door", "close a window") == 1.0
+
+
+def test_wer_empty_reference():
+    assert word_error_rate("", "") == 0.0
+    assert word_error_rate("", "something") == 1.0
+
+
+def test_cer_partial():
+    assert 0.0 < character_error_rate("open", "opan") < 1.0
+
+
+def test_transcription_matches_threshold():
+    assert transcription_matches("open the door", "open the door")
+    assert not transcription_matches("open the door", "open a door")
+    assert transcription_matches("open the door", "open a door", max_wer=0.5)
+
+
+@given(_tokens, _tokens)
+def test_edit_distance_symmetry(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+
+
+@given(_tokens, _tokens)
+def test_edit_distance_bounds(a, b):
+    distance = edit_distance(a, b)
+    assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+
+@given(_tokens, _tokens, _tokens)
+def test_edit_distance_triangle_inequality(a, b, c):
+    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+@given(_tokens)
+def test_wer_identity(tokens):
+    sentence = " ".join(tokens)
+    assert word_error_rate(sentence, sentence) == 0.0

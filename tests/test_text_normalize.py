@@ -1,0 +1,55 @@
+"""Tests for text normalisation and tokenisation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.normalize import normalize_text, tokenize
+
+
+def test_lowercase_and_punctuation():
+    assert normalize_text("Hello, World!") == "hello world"
+
+
+def test_contraction_expansion():
+    assert normalize_text("I wish you wouldn't") == "i wish you would not"
+
+
+def test_contraction_requires_word_boundary():
+    # "the safe" must not be rewritten via the "he s" contraction rule.
+    assert normalize_text("unlock the safe now") == "unlock the safe now"
+    assert normalize_text("the smell of bread") == "the smell of bread"
+
+
+def test_apostrophe_handling():
+    assert normalize_text("don't stop") == "do not stop"
+
+
+def test_tokenize_empty():
+    assert tokenize("") == []
+    assert tokenize("   ") == []
+
+
+def test_tokenize_words():
+    assert tokenize("Open the front DOOR") == ["open", "the", "front", "door"]
+
+
+def test_digits_are_stripped():
+    assert normalize_text("call 911 now") == "call now"
+
+
+@given(st.text(max_size=80))
+def test_normalize_idempotent(text):
+    once = normalize_text(text)
+    assert normalize_text(once) == once
+
+
+@given(st.text(max_size=80))
+def test_normalize_only_lowercase_letters_and_spaces(text):
+    normalized = normalize_text(text)
+    assert all(c.islower() or c == " " for c in normalized)
+    assert "  " not in normalized
+
+
+@given(st.text(max_size=80))
+def test_tokenize_matches_normalized_split(text):
+    assert tokenize(text) == [t for t in normalize_text(text).split(" ") if t]

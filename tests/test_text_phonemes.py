@@ -1,0 +1,60 @@
+"""Tests for the phoneme inventory."""
+
+import pytest
+
+from repro.text.phonemes import (
+    PHONEMES,
+    PHONEME_TO_INDEX,
+    SILENCE,
+    is_vowel,
+    phoneme_profile,
+    validate_sequence,
+)
+
+
+def test_inventory_is_sorted_and_indexed():
+    assert list(PHONEMES) == sorted(PHONEMES)
+    for index, phoneme in enumerate(PHONEMES):
+        assert PHONEME_TO_INDEX[phoneme] == index
+
+
+def test_silence_in_inventory():
+    assert SILENCE in PHONEMES
+    assert phoneme_profile(SILENCE).voiced is False
+
+
+def test_inventory_size_reasonable():
+    # ARPAbet-style inventory: roughly 39 phonemes plus silence.
+    assert 30 <= len(PHONEMES) <= 45
+
+
+def test_every_profile_is_complete():
+    for phoneme in PHONEMES:
+        profile = phoneme_profile(phoneme)
+        assert len(profile.formants) == len(profile.amplitudes)
+        assert profile.duration > 0
+        assert 0.0 <= profile.noise <= 1.0
+
+
+def test_vowels_are_voiced():
+    for phoneme in PHONEMES:
+        if is_vowel(phoneme):
+            assert phoneme_profile(phoneme).voiced
+
+
+def test_known_vowels_and_consonants():
+    assert is_vowel("IY")
+    assert is_vowel("AA")
+    assert not is_vowel("S")
+    assert not is_vowel(SILENCE)
+
+
+def test_unknown_phoneme_raises():
+    with pytest.raises(KeyError):
+        phoneme_profile("QQ")
+
+
+def test_validate_sequence():
+    validate_sequence(["AA", "B", SILENCE])
+    with pytest.raises(ValueError):
+        validate_sequence(["AA", "NOPE"])
