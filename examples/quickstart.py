@@ -1,9 +1,13 @@
 """Quickstart: build an MVP-EARS detector and classify one benign sample
 and one adversarial example.
 
+The detector fans recognition out across the ASR suite with a worker
+pool (pass ``workers=0`` for the original sequential path) and caches
+transcriptions by audio content, so re-screening a clip is nearly free.
+
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 from repro import MVPEarsDetector, WhiteBoxCarliniAttack, build_asr
@@ -41,7 +45,15 @@ def main() -> None:
             print(f"  {aux_name:>3} heard        : {text!r}")
         print(f"  similarity scores: {result.scores.round(3)}")
         print(f"  verdict          : {'ADVERSARIAL' if result.is_adversarial else 'benign'}")
+        print(f"  detection time   : {result.elapsed_seconds * 1000:.1f} ms "
+              f"(recognition {result.timing['recognition'] * 1000:.1f} ms)")
         print()
+
+    # 5. Re-screening the same clip hits the transcription cache.
+    rerun = detector.detect(benign)
+    stats = detector.engine.stats
+    print(f"re-screened benign clip in {rerun.elapsed_seconds * 1000:.2f} ms "
+          f"(cache: {stats.hits} hits / {stats.misses} misses)")
 
 
 if __name__ == "__main__":

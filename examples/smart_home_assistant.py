@@ -3,16 +3,19 @@
 The assistant receives a stream of voice commands.  Most are legitimate,
 but an attacker has planted audio adversarial examples (crafted against the
 assistant's DeepSpeech model) in, e.g., a podcast the user plays.  The
-detector screens every audio before the assistant acts on it.
+detector screens the whole stream in one batched
+:class:`~repro.pipeline.detection.DetectionPipeline` pass: recognition
+fans out across the ASR worker pool, classification is one vectorised
+call, and a replayed command is served from the transcription cache.
 
 Run with::
 
-    python examples/smart_home_assistant.py
+    PYTHONPATH=src python examples/smart_home_assistant.py
 """
 
 import numpy as np
 
-from repro import MVPEarsDetector, WhiteBoxCarliniAttack, build_asr
+from repro import DetectionPipeline, MVPEarsDetector, WhiteBoxCarliniAttack, build_asr
 from repro.asr.registry import get_shared_lexicon
 from repro.audio.synthesis import SpeechSynthesizer
 from repro.datasets.scores import load_scored_dataset
@@ -54,11 +57,15 @@ def main() -> None:
     for command, host in zip(MALICIOUS_COMMANDS, HOST_SENTENCES):
         result = attack.run(synthesizer.synthesize(host), command)
         stream.append(("attacker", result.adversarial))
+    # The user replays a command — the detector should not re-decode it.
+    stream.append(("user", stream[0][1]))
     rng.shuffle(stream)
 
+    pipeline = DetectionPipeline(detector)
+    batch = pipeline.detect_batch([audio for _, audio in stream])
+
     accepted, blocked = 0, 0
-    for source, audio in stream:
-        result = detector.detect(audio)
+    for (source, _), result in zip(stream, batch.results):
         action = "BLOCKED " if result.is_adversarial else "ACCEPTED"
         if result.is_adversarial:
             blocked += 1
@@ -67,7 +74,12 @@ def main() -> None:
         print(f"[{action}] ({source:8}) assistant heard: "
               f"{result.target_transcription!r} | min score "
               f"{result.scores.min():.2f}")
+    stage = batch.mean_stage_seconds()
     print(f"\naccepted {accepted} commands, blocked {blocked} suspicious inputs")
+    print(f"screened {len(batch)} clips in {batch.stage_seconds['total']:.3f} s "
+          f"({stage['recognition'] * 1000:.1f} ms recognition per clip); "
+          f"transcription cache served {batch.cache_hits} of "
+          f"{batch.cache_hits + batch.cache_misses} transcriptions")
 
 
 if __name__ == "__main__":

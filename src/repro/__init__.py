@@ -1,0 +1,29 @@
+"""MVP-EARS reproduction: multiversion-programming audio AE detection.
+
+Re-exports the objects most users need: the detector and its batched
+pipeline, the ASR registry, the attacks, and the waveform value type.
+Everything else lives in the subpackages (see ``docs/ARCHITECTURE.md``).
+"""
+
+from repro.asr.registry import build_asr, default_asr_suite
+from repro.attacks.blackbox import BlackBoxGeneticAttack
+from repro.attacks.whitebox import WhiteBoxCarliniAttack
+from repro.audio.waveform import Waveform
+from repro.core.detector import DetectionResult, MVPEarsDetector
+from repro.pipeline.cache import TranscriptionCache
+from repro.pipeline.detection import BatchDetectionResult, DetectionPipeline
+from repro.pipeline.engine import TranscriptionEngine
+
+__all__ = [
+    "build_asr",
+    "default_asr_suite",
+    "BlackBoxGeneticAttack",
+    "WhiteBoxCarliniAttack",
+    "Waveform",
+    "DetectionResult",
+    "MVPEarsDetector",
+    "TranscriptionCache",
+    "BatchDetectionResult",
+    "DetectionPipeline",
+    "TranscriptionEngine",
+]

@@ -70,7 +70,11 @@ class ASRSystem(ABC):
                              extra=result.extra)
 
     def transcribe_batch(self, audios: list[Waveform]) -> list[Transcription]:
-        """Transcribe a list of audio clips."""
+        """Transcribe a list of audio clips sequentially.
+
+        For parallel fan-out across a whole ASR suite (and content-hash
+        caching) use :class:`repro.pipeline.engine.TranscriptionEngine`.
+        """
         return [self.transcribe(audio) for audio in audios]
 
     def __repr__(self) -> str:  # pragma: no cover - convenience only

@@ -2,9 +2,13 @@
 
 A detector is a target ASR, a set of auxiliary ASRs, a similarity scorer
 and a binary classifier.  Given an audio clip, every ASR transcribes it in
-parallel (conceptually — here sequentially), one similarity score per
-auxiliary is computed between the target transcription and that auxiliary's
-transcription, and the score vector is classified as benign or adversarial.
+parallel — recognition fans out across a
+:class:`~repro.pipeline.engine.TranscriptionEngine` worker pool, with
+``workers=0`` selecting the original sequential path — one similarity
+score per auxiliary is computed between the target transcription and that
+auxiliary's transcription, and the score vector is classified as benign
+or adversarial.  Batched detection over many clips lives in
+:class:`~repro.pipeline.detection.DetectionPipeline`.
 """
 
 from __future__ import annotations
@@ -16,10 +20,12 @@ import numpy as np
 
 from repro.asr.base import ASRSystem
 from repro.audio.waveform import Waveform
-from repro.core.features import score_vector, score_vectors
+from repro.core.features import score_vectors, suite_score_vector
 from repro.ml.base import BinaryClassifier
 from repro.ml.metrics import ClassificationReport, classification_report
 from repro.ml.registry import build_classifier
+from repro.pipeline.cache import TranscriptionCache
+from repro.pipeline.engine import TranscriptionEngine
 from repro.similarity.scorer import SimilarityScorer, get_scorer
 
 
@@ -34,8 +40,8 @@ class DetectionResult:
         auxiliary_transcriptions: what each auxiliary ASR heard.
         elapsed_seconds: end-to-end detection time, split into the three
             components measured by the paper's overhead experiment.
-        timing: dict with ``recognition``, ``similarity`` and
-            ``classification`` wall-clock seconds.
+        timing: dict with ``recognition``, ``recognition_overhead``,
+            ``similarity`` and ``classification`` wall-clock seconds.
     """
 
     is_adversarial: bool
@@ -47,11 +53,27 @@ class DetectionResult:
 
 
 class MVPEarsDetector:
-    """Multi-version-programming-inspired audio AE detector."""
+    """Multi-version-programming-inspired audio AE detector.
+
+    Args:
+        target_asr: the model under protection.
+        auxiliary_asrs: the diverse auxiliary models.
+        classifier: a fitted-later binary classifier or a registry name.
+        scorer: similarity scorer (default: the paper's PE_JaroWinkler).
+        workers: transcription worker-pool size; ``0`` keeps the original
+            sequential path, ``None`` picks a default from the CPU count.
+        engine: inject a pre-built :class:`TranscriptionEngine` (for a
+            shared pool/cache); overrides ``workers``/``cache``.
+        cache: transcription cache policy, passed through to the engine
+            (``True`` shares the process-wide content-hash cache).
+    """
 
     def __init__(self, target_asr: ASRSystem, auxiliary_asrs: list[ASRSystem],
                  classifier: BinaryClassifier | str = "SVM",
-                 scorer: SimilarityScorer | None = None):
+                 scorer: SimilarityScorer | None = None,
+                 workers: int | None = None,
+                 engine: TranscriptionEngine | None = None,
+                 cache: TranscriptionCache | bool | None = True):
         if not auxiliary_asrs:
             raise ValueError("at least one auxiliary ASR is required")
         self.target_asr = target_asr
@@ -59,7 +81,13 @@ class MVPEarsDetector:
         self.classifier = (build_classifier(classifier)
                            if isinstance(classifier, str) else classifier)
         self.scorer = scorer or get_scorer()
+        self.engine = engine if engine is not None else TranscriptionEngine(
+            target_asr, self.auxiliary_asrs, workers=workers, cache=cache)
         self._fitted = False
+
+    def close(self) -> None:
+        """Shut the engine's worker pool down (idempotent)."""
+        self.engine.close()
 
     # ----------------------------------------------------------- description
     @property
@@ -76,7 +104,8 @@ class MVPEarsDetector:
     # ------------------------------------------------------------- training
     def extract_features(self, audios: list[Waveform]) -> np.ndarray:
         """Similarity-score feature matrix for a batch of audio clips."""
-        return score_vectors(audios, self.target_asr, self.auxiliary_asrs, self.scorer)
+        return score_vectors(audios, self.target_asr, self.auxiliary_asrs,
+                             self.scorer, engine=self.engine)
 
     def fit(self, audios: list[Waveform], labels: np.ndarray) -> "MVPEarsDetector":
         """Train the binary classifier on labelled audio clips."""
@@ -99,20 +128,10 @@ class MVPEarsDetector:
         if not self._fitted:
             raise RuntimeError("detector has not been trained; call fit() first")
         start = time.perf_counter()
-        target_result = self.target_asr.transcribe(audio)
-        aux_results = {asr.short_name: asr.transcribe(audio)
-                       for asr in self.auxiliary_asrs}
+        suite = self.engine.transcribe(audio)
         recognition_end = time.perf_counter()
-        # Recognition overhead attributable to the detector is the extra time
-        # the slowest auxiliary adds beyond the target model, since in
-        # deployment all ASRs run in parallel.
-        aux_elapsed = max(result.elapsed_seconds for result in aux_results.values())
-        recognition_overhead = max(0.0, aux_elapsed - target_result.elapsed_seconds)
 
-        scores = np.array([
-            self.scorer.score(target_result.text, aux_results[asr.short_name].text)
-            for asr in self.auxiliary_asrs
-        ])
+        scores = suite_score_vector(suite, self.auxiliary_asrs, self.scorer)
         similarity_end = time.perf_counter()
         verdict = bool(self.classifier.predict(scores[None, :])[0] == 1)
         classification_end = time.perf_counter()
@@ -120,13 +139,15 @@ class MVPEarsDetector:
         return DetectionResult(
             is_adversarial=verdict,
             scores=scores,
-            target_transcription=target_result.text,
-            auxiliary_transcriptions={name: result.text
-                                      for name, result in aux_results.items()},
+            target_transcription=suite.target.text,
+            auxiliary_transcriptions=suite.auxiliary_texts,
             elapsed_seconds=classification_end - start,
             timing={
                 "recognition": recognition_end - start,
-                "recognition_overhead": recognition_overhead,
+                # Recognition overhead attributable to the detector is the
+                # extra decode time of the slowest auxiliary beyond the
+                # target model, since all ASRs run in parallel.
+                "recognition_overhead": suite.recognition_overhead,
                 "similarity": similarity_end - recognition_end,
                 "classification": classification_end - similarity_end,
             },

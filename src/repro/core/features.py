@@ -3,7 +3,11 @@
 Turns an audio clip (or a batch of pre-computed transcriptions) into the
 similarity-score feature vector consumed by the binary classifiers: one
 score per auxiliary ASR, each comparing the target ASR's transcription with
-that auxiliary's transcription.
+that auxiliary's transcription.  Transcription is routed through a
+:class:`~repro.pipeline.engine.TranscriptionEngine`, so batches fan out
+across the worker pool and repeated clips hit the shared transcription
+cache; pass ``workers=0`` (or an engine built that way) to force the
+original sequential path.
 """
 
 from __future__ import annotations
@@ -12,26 +16,47 @@ import numpy as np
 
 from repro.asr.base import ASRSystem
 from repro.audio.waveform import Waveform
+from repro.pipeline.engine import TranscriptionEngine
 from repro.similarity.scorer import SimilarityScorer, get_scorer
+
+
+def suite_score_vector(suite, auxiliary_asrs: list[ASRSystem],
+                       scorer: SimilarityScorer | None = None) -> np.ndarray:
+    """Feature vector from one engine :class:`SuiteTranscription`."""
+    return scores_from_transcriptions(
+        suite.target.text,
+        [suite.auxiliaries[aux.short_name].text for aux in auxiliary_asrs],
+        scorer)
 
 
 def score_vector(audio: Waveform, target_asr: ASRSystem,
                  auxiliary_asrs: list[ASRSystem],
-                 scorer: SimilarityScorer | None = None) -> np.ndarray:
+                 scorer: SimilarityScorer | None = None,
+                 engine: TranscriptionEngine | None = None,
+                 workers: int | None = None) -> np.ndarray:
     """Similarity-score feature vector of a single audio clip."""
-    scorer = scorer or get_scorer()
-    target_text = target_asr.transcribe(audio).text
-    scores = [scorer.score(target_text, aux.transcribe(audio).text)
-              for aux in auxiliary_asrs]
-    return np.array(scores, dtype=np.float64)
+    if engine is not None:
+        return suite_score_vector(engine.transcribe(audio), auxiliary_asrs, scorer)
+    with TranscriptionEngine(target_asr, auxiliary_asrs, workers=workers) as engine:
+        return suite_score_vector(engine.transcribe(audio), auxiliary_asrs, scorer)
 
 
 def score_vectors(audios: list[Waveform], target_asr: ASRSystem,
                   auxiliary_asrs: list[ASRSystem],
-                  scorer: SimilarityScorer | None = None) -> np.ndarray:
+                  scorer: SimilarityScorer | None = None,
+                  engine: TranscriptionEngine | None = None,
+                  workers: int | None = None) -> np.ndarray:
     """Similarity-score feature matrix of a batch of audio clips."""
-    return np.array([score_vector(audio, target_asr, auxiliary_asrs, scorer)
-                     for audio in audios])
+    if engine is not None:
+        suites = engine.transcribe_batch(list(audios))
+    else:
+        with TranscriptionEngine(target_asr, auxiliary_asrs,
+                                 workers=workers) as engine:
+            suites = engine.transcribe_batch(list(audios))
+    if not suites:
+        return np.empty((0, len(auxiliary_asrs)), dtype=np.float64)
+    return np.array([suite_score_vector(suite, auxiliary_asrs, scorer)
+                     for suite in suites], dtype=np.float64)
 
 
 def scores_from_transcriptions(target_text: str, auxiliary_texts: list[str],

@@ -27,14 +27,22 @@ from repro.ml.registry import build_classifier
 def run_kaldi_auxiliary_ablation(bundle: DatasetBundle, dataset: ScoredDataset,
                                  max_samples: int = 64, n_splits: int = 5,
                                  seed: int = 43,
-                                 classifier_name: str = "SVM") -> ExperimentTable:
-    """Compare DS0+{Kaldi} against DS0+{DS1} on the same samples."""
+                                 classifier_name: str = "SVM",
+                                 workers: int | None = None) -> ExperimentTable:
+    """Compare DS0+{Kaldi} against DS0+{DS1} on the same samples.
+
+    Feature extraction routes through the transcription engine, so the
+    DS0 transcriptions of these clips come from the shared cache when the
+    scored dataset was computed in the same process; only the Kaldi
+    column pays decode time.
+    """
     target_asr = build_asr("DS0")
     kaldi = build_asr("KAL")
     samples = (bundle.benign + bundle.adversarial)[:max_samples]
     labels = np.array([sample.label for sample in samples])
     waveforms = [sample.waveform for sample in samples]
-    kaldi_features = score_vectors(waveforms, target_asr, [kaldi])
+    kaldi_features = score_vectors(waveforms, target_asr, [kaldi],
+                                   workers=workers)
 
     table = ExperimentTable(
         "Kaldi ablation", "Detection accuracy with an inaccurate auxiliary ASR")

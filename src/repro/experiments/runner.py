@@ -1,4 +1,10 @@
-"""Shared experiment result containers and table formatting."""
+"""Shared experiment result containers and table formatting.
+
+Besides the generic :class:`ExperimentTable`, this module hosts the
+timing-table helper used by the overhead experiment: per-component
+wall-clock rows expressed relative to a baseline (the target model's own
+recognition time), matching how the paper reports Section V-I.
+"""
 
 from __future__ import annotations
 
@@ -33,6 +39,23 @@ def _format_value(value) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def add_timing_rows(table: ExperimentTable, baseline_seconds: float,
+                    components: list[tuple[str, float]],
+                    baseline_name: str = "target recognition (baseline)") -> None:
+    """Append per-component timing rows relative to a baseline time.
+
+    The baseline row (the cost the system pays with no detector at all)
+    is reported with a relative overhead of zero; every other component
+    is expressed as a fraction of it.
+    """
+    floor = max(baseline_seconds, 1e-9)
+    table.add_row(component=baseline_name, mean_seconds=float(baseline_seconds),
+                  relative_overhead=0.0)
+    for name, seconds in components:
+        table.add_row(component=name, mean_seconds=float(seconds),
+                      relative_overhead=float(seconds) / floor)
 
 
 def format_table(rows: list[dict], title: str | None = None) -> str:

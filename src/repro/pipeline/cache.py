@@ -1,0 +1,184 @@
+"""Content-addressed transcription caching.
+
+Transcribing a clip is by far the most expensive operation in the
+library, and the same waveforms are transcribed again and again: every
+experiment table re-reads the same dataset bundle, the overhead benchmark
+replays clips the scored dataset already saw, and a deployed detector
+screens repeated audio (replayed commands, re-submitted uploads).
+
+The cache key is a content hash of the raw samples plus the sample rate
+and the ASR's identity (``name`` and ``short_name``), so two
+:class:`~repro.audio.waveform.Waveform` instances with identical audio
+share one cache entry regardless of label or metadata.  Simulated ASRs
+are deterministic — the same samples always decode to the same
+transcription — which is what makes caching sound.  Caveat: two ASR
+instances reporting the same ``name``/``short_name`` pair are assumed to
+be the same system; custom variants with identical names but different
+configuration must use distinct names or a private cache
+(``cache=False`` / a dedicated :class:`TranscriptionCache`).
+
+Storage is a thread-safe in-memory LRU, optionally backed by a JSON file
+on disk so repeated experiment *runs* (new processes) skip decoding too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asr.base import Transcription
+from repro.audio.waveform import Waveform
+
+
+def waveform_fingerprint(audio: Waveform) -> str:
+    """Content hash identifying a waveform's audio (samples + rate)."""
+    digest = hashlib.sha1()
+    digest.update(np.ascontiguousarray(audio.samples).tobytes())
+    digest.update(str(int(audio.sample_rate)).encode("ascii"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`TranscriptionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+def _transcription_to_json(result: Transcription) -> dict:
+    payload = {
+        "text": result.text,
+        "phonemes": list(result.phonemes),
+        "frame_labels": list(result.frame_labels),
+        "asr_name": result.asr_name,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    try:
+        json.dumps(result.extra)
+        payload["extra"] = result.extra
+    except (TypeError, ValueError):
+        payload["extra"] = {}
+    return payload
+
+
+def _transcription_from_json(payload: dict) -> Transcription:
+    return Transcription(
+        text=payload["text"],
+        phonemes=tuple(payload.get("phonemes", ())),
+        frame_labels=tuple(payload.get("frame_labels", ())),
+        asr_name=payload.get("asr_name", ""),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        extra=dict(payload.get("extra", {})),
+    )
+
+
+class TranscriptionCache:
+    """Thread-safe LRU cache of transcriptions keyed by audio content.
+
+    Args:
+        capacity: maximum number of entries kept in memory; the least
+            recently used entry is evicted first.
+        path: optional JSON file backing the cache on disk.  Existing
+            entries are loaded eagerly; call :meth:`save` to persist.
+    """
+
+    def __init__(self, capacity: int = 4096, path: str | None = None):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.path = path
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, Transcription] = OrderedDict()
+        self._lock = threading.Lock()
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    @staticmethod
+    def key_for(asr, audio: Waveform) -> str:
+        """Cache key of one (ASR, waveform) pair.
+
+        ``asr`` is an :class:`~repro.asr.base.ASRSystem`; its ``name``
+        and ``short_name`` together identify the system (see the module
+        docstring for the same-name caveat).
+        """
+        return f"{asr.short_name}|{asr.name}:{waveform_fingerprint(audio)}"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Transcription | None:
+        """Look up ``key``, updating LRU order and hit/miss statistics."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return result
+
+    def put(self, key: str, result: Transcription) -> None:
+        """Store ``result`` under ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    # ------------------------------------------------------------ disk store
+    def save(self, path: str | None = None) -> str:
+        """Write the cache to ``path`` (default: the constructor path)."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no path given and cache has no backing file")
+        with self._lock:
+            payload = {key: _transcription_to_json(result)
+                       for key, result in self._entries.items()}
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def load(self, path: str | None = None) -> int:
+        """Merge entries from ``path`` into the cache; returns the count."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no path given and cache has no backing file")
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        with self._lock:
+            for key, entry in payload.items():
+                self._entries[key] = _transcription_from_json(entry)
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return len(payload)
