@@ -1,12 +1,16 @@
-"""Scenario: a smart-home voice assistant protected by MVP-EARS.
+"""Scenario: an always-listening smart-home assistant guarded by MVP-EARS.
 
-The assistant receives a stream of voice commands.  Most are legitimate,
-but an attacker has planted audio adversarial examples (crafted against the
-assistant's DeepSpeech model) in, e.g., a podcast the user plays.  The
-detector screens the whole stream in one batched
-:class:`~repro.pipeline.detection.DetectionPipeline` pass: recognition
-fans out across the ASR worker pool, classification is one vectorised
-call, and a replayed command is served from the transcription cache.
+The assistant's microphone never stops: legitimate voice commands arrive
+interleaved with household audio, and an attacker has planted audio
+adversarial examples (crafted against the assistant's DeepSpeech model)
+in, e.g., a podcast the user plays.  Instead of screening pre-cut clips,
+the detector now screens the *continuous stream*: audio is pushed into a
+:class:`~repro.serving.streaming.StreamSession` as it arrives, cut into
+fixed-size detection windows, scored in batches through the
+:class:`~repro.pipeline.detection.DetectionPipeline`, and folded into a
+stream-level verdict with hysteresis so one noisy window does not flip
+the assistant into lockdown.  A replayed command lands on the same
+window grid and is served from the content-hash transcription cache.
 
 Run with::
 
@@ -15,10 +19,16 @@ Run with::
 
 import numpy as np
 
-from repro import DetectionPipeline, MVPEarsDetector, WhiteBoxCarliniAttack, build_asr
+from repro import StreamConfig, StreamingDetector, WhiteBoxCarliniAttack, default_detector
 from repro.asr.registry import get_shared_lexicon
 from repro.audio.synthesis import SpeechSynthesizer
-from repro.datasets.scores import load_scored_dataset
+from repro.audio.waveform import Waveform
+from repro.config import SAMPLE_RATE
+
+#: Detection window: every segment below is padded to a whole number of
+#: windows so the stream stays window-aligned (hop == window) and a
+#: replayed segment hits the transcription cache exactly.
+WINDOW_SECONDS = 2.0
 
 LEGITIMATE_COMMANDS = [
     "turn off all the lights",
@@ -38,48 +48,66 @@ HOST_SENTENCES = [
 ]
 
 
+def padded_to_window_grid(audio: Waveform, sample_rate: int) -> Waveform:
+    """Zero-pad ``audio`` to a whole number of detection windows."""
+    window = round(WINDOW_SECONDS * sample_rate)
+    n_windows = max(1, -(-len(audio) // window))
+    return audio.padded_to(n_windows * window)
+
+
 def main() -> None:
-    target = build_asr("DS0")
-    auxiliaries = [build_asr(name) for name in ("DS1", "GCS", "AT")]
-    detector = MVPEarsDetector(target, auxiliaries, classifier="SVM")
-    dataset = load_scored_dataset("tiny")
-    features, labels = dataset.features_for(("DS1", "GCS", "AT"))
-    detector.fit_features(features, labels)
+    # The paper's default DS0+{DS1, GCS, AT} system, fitted on the tiny
+    # scored dataset (one call; see repro.core.bootstrap).
+    detector = default_detector(scale="tiny")
+    sample_rate = SAMPLE_RATE  # the grid must match the synthesized audio
 
     synthesizer = SpeechSynthesizer(lexicon=get_shared_lexicon(), seed=7)
-    attack = WhiteBoxCarliniAttack(target)
+    attack = WhiteBoxCarliniAttack(detector.target_asr)
     rng = np.random.default_rng(0)
 
-    # Build the incoming audio stream: legitimate commands plus hidden AEs.
-    stream = []
+    # Build the incoming stream: legitimate commands plus hidden AEs, each
+    # padded onto the window grid, then a replay of the first command.
+    segments = []
     for command in LEGITIMATE_COMMANDS:
-        stream.append(("user", synthesizer.synthesize(command)))
+        segments.append(("user", command, synthesizer.synthesize(command)))
     for command, host in zip(MALICIOUS_COMMANDS, HOST_SENTENCES):
         result = attack.run(synthesizer.synthesize(host), command)
-        stream.append(("attacker", result.adversarial))
-    # The user replays a command — the detector should not re-decode it.
-    stream.append(("user", stream[0][1]))
-    rng.shuffle(stream)
+        segments.append(("attacker", command, result.adversarial))
+    rng.shuffle(segments)
+    # The user replays their first command of the stream; on the aligned
+    # window grid it is served entirely from the transcription cache.
+    replayed = next(seg for seg in segments if seg[0] == "user")
+    segments.append(replayed)
+    segments = [(source, command, padded_to_window_grid(audio, sample_rate))
+                for source, command, audio in segments]
 
-    pipeline = DetectionPipeline(detector)
-    batch = pipeline.detect_batch([audio for _, audio in stream])
+    config = StreamConfig(window_seconds=WINDOW_SECONDS,
+                          hop_seconds=WINDOW_SECONDS,  # aligned tiling
+                          trigger_windows=2, release_windows=1)
+    session = StreamingDetector(detector, config=config).session()
 
-    accepted, blocked = 0, 0
-    for (source, _), result in zip(stream, batch.results):
-        action = "BLOCKED " if result.is_adversarial else "ACCEPTED"
-        if result.is_adversarial:
-            blocked += 1
-        else:
-            accepted += 1
-        print(f"[{action}] ({source:8}) assistant heard: "
-              f"{result.target_transcription!r} | min score "
-              f"{result.scores.min():.2f}")
-    stage = batch.mean_stage_seconds()
-    print(f"\naccepted {accepted} commands, blocked {blocked} suspicious inputs")
-    print(f"screened {len(batch)} clips in {batch.stage_seconds['total']:.3f} s "
-          f"({stage['recognition'] * 1000:.1f} ms recognition per clip); "
-          f"transcription cache served {batch.cache_hits} of "
-          f"{batch.cache_hits + batch.cache_misses} transcriptions")
+    # Feed the stream segment by segment, as a live microphone would.
+    print(f"streaming {sum(a.duration for _, _, a in segments):.1f} s of audio "
+          f"in {WINDOW_SECONDS:.1f} s windows\n")
+    for source, _, audio in segments:
+        for verdict in session.push(audio):
+            mark = "!" if verdict.is_adversarial else " "
+            print(f"[{verdict.start_seconds:6.1f}s – {verdict.end_seconds:6.1f}s] "
+                  f"{mark} {verdict.state:<11} ({source:8}) heard: "
+                  f"{verdict.target_transcription!r}")
+    result = session.flush()
+
+    print()
+    if result.spans:
+        for span in result.spans:
+            print(f"FLAGGED {span.start_seconds:.1f}s – {span.end_seconds:.1f}s "
+                  f"({span.n_windows} windows) — command stream blocked there")
+    else:
+        print("stream clean: no adversarial spans")
+    print(f"{result.n_adversarial_windows} of {len(result)} windows flagged; "
+          f"stage totals {result.stage_seconds['total']:.3f} s; "
+          f"replayed audio served {result.cache_hits} transcriptions "
+          f"from cache")
 
 
 if __name__ == "__main__":

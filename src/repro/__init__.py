@@ -1,18 +1,30 @@
 """MVP-EARS reproduction: multiversion-programming audio AE detection.
 
-Re-exports the objects most users need: the detector and its batched
-pipeline, the ASR registry, the attacks, and the waveform value type.
-Everything else lives in the subpackages (see ``docs/ARCHITECTURE.md``).
+Re-exports the stable public surface (documented in ``docs/API.md``):
+the detector and its batched pipeline, the serving layer (streaming
+detection, micro-batching, metrics), the ASR registry, the attacks, and
+the waveform value type.  Everything else lives in the subpackages and
+is considered internal (see ``docs/ARCHITECTURE.md``).
 """
 
 from repro.asr.registry import build_asr, default_asr_suite
 from repro.attacks.blackbox import BlackBoxGeneticAttack
 from repro.attacks.whitebox import WhiteBoxCarliniAttack
 from repro.audio.waveform import Waveform
+from repro.core.bootstrap import default_detector
 from repro.core.detector import DetectionResult, MVPEarsDetector
 from repro.pipeline.cache import TranscriptionCache
 from repro.pipeline.detection import BatchDetectionResult, DetectionPipeline
 from repro.pipeline.engine import TranscriptionEngine
+from repro.serving.aggregator import (
+    FlaggedSpan,
+    StreamDetectionResult,
+    WindowVerdict,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.chunker import StreamConfig, StreamWindow, chunk_waveform
+from repro.serving.metrics import ServingMetrics
+from repro.serving.streaming import StreamingDetector, StreamSession
 
 __all__ = [
     "build_asr",
@@ -20,10 +32,21 @@ __all__ = [
     "BlackBoxGeneticAttack",
     "WhiteBoxCarliniAttack",
     "Waveform",
+    "default_detector",
     "DetectionResult",
     "MVPEarsDetector",
     "TranscriptionCache",
     "BatchDetectionResult",
     "DetectionPipeline",
     "TranscriptionEngine",
+    "FlaggedSpan",
+    "StreamDetectionResult",
+    "WindowVerdict",
+    "MicroBatcher",
+    "StreamConfig",
+    "StreamWindow",
+    "chunk_waveform",
+    "ServingMetrics",
+    "StreamingDetector",
+    "StreamSession",
 ]

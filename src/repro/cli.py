@@ -1,0 +1,305 @@
+"""The ``repro`` command line: screen clips, screen streams, benchmark.
+
+Exposes the whole detection stack without writing Python::
+
+    python -m repro screen clip.wav other.wav   # batch-screen WAV clips
+    python -m repro stream recording.wav        # windowed streaming verdicts
+    python -m repro bench                       # serving-layer benchmark
+
+(Installed as the ``repro`` console script too; ``repro --help`` for the
+full option list.)  ``screen`` and ``stream`` build the paper's default
+DS0+{DS1, GCS, AT} detector via
+:func:`repro.core.bootstrap.default_detector`, fitted on the scored
+dataset of ``--scale`` (default ``tiny``; the first run at a scale
+generates and disk-caches that dataset).  ``bench`` synthesises a
+workload and drives it through the sequential detector, the batched
+pipeline and the micro-batcher, printing the per-stage
+throughput/latency counters from
+:class:`repro.serving.metrics.ServingMetrics`.
+
+Exit status: ``screen`` and ``stream`` exit 1 when anything was flagged
+adversarial (so shell scripts can gate on the verdict), 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+PROG = "repro"
+
+
+class CliError(Exception):
+    """A user-input problem (bad path, bad WAV, unknown name, bad geometry)."""
+
+
+def _read_clips(paths: list[str]):
+    from repro.audio.wavio import read_wav
+
+    clips = []
+    for path in paths:
+        try:
+            clips.append(read_wav(path))
+        except (FileNotFoundError, IsADirectoryError, PermissionError,
+                ValueError) as exc:
+            raise CliError(f"cannot read {path!r}: {exc}") from exc
+    return clips
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="MVP-EARS audio adversarial example detection "
+                    "(DSN 2019 reproduction).")
+    commands = parser.add_subparsers(dest="command", metavar="command")
+
+    def add_detector_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--scale", default="tiny",
+                         choices=("tiny", "small", "medium", "paper"),
+                         help="scored-dataset scale used to fit the "
+                              "classifier (default: tiny)")
+        sub.add_argument("--workers", type=int, default=None,
+                         help="transcription worker-pool size "
+                              "(default: CPU count; 0 = sequential)")
+        sub.add_argument("--classifier", default="SVM",
+                         help="classifier registry name (default: SVM)")
+        sub.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of text")
+
+    screen = commands.add_parser(
+        "screen", help="screen one or more WAV clips (one verdict per file)")
+    screen.add_argument("wav", nargs="+", help="16-bit mono PCM WAV files")
+    add_detector_options(screen)
+
+    stream = commands.add_parser(
+        "stream", help="screen one WAV as a continuous stream of windows")
+    stream.add_argument("wav", help="16-bit mono PCM WAV file")
+    stream.add_argument("--window", type=float, default=2.0,
+                        help="detection window length in seconds (default: 2.0)")
+    stream.add_argument("--hop", type=float, default=None,
+                        help="hop between window starts in seconds "
+                             "(default: window / 2)")
+    stream.add_argument("--trigger", type=int, default=2,
+                        help="consecutive adversarial windows that flip the "
+                             "stream verdict (default: 2)")
+    stream.add_argument("--release", type=int, default=2,
+                        help="consecutive benign windows that release it "
+                             "(default: 2)")
+    add_detector_options(stream)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark sequential vs batched vs micro-batched serving")
+    bench.add_argument("--clips", type=int, default=12,
+                       help="number of synthesised clips (default: 12)")
+    bench.add_argument("--batch-size", type=int, default=8,
+                       help="micro-batcher max batch size (default: 8)")
+    bench.add_argument("--max-latency", type=float, default=0.02,
+                       help="micro-batcher max queue latency in seconds "
+                            "(default: 0.02)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="workload sampling seed (default: 0)")
+    add_detector_options(bench)
+    return parser
+
+
+def _build_detector(args: argparse.Namespace):
+    from repro.core.bootstrap import default_detector
+
+    try:
+        return default_detector(classifier=args.classifier, scale=args.scale,
+                                workers=args.workers)
+    except KeyError as exc:
+        # Unknown registry name (e.g. a mistyped --classifier).
+        raise CliError(str(exc)) from exc
+
+
+# ------------------------------------------------------------------- screen
+def cmd_screen(args: argparse.Namespace) -> int:
+    from repro.pipeline.detection import DetectionPipeline
+
+    clips = _read_clips(args.wav)
+    pipeline = DetectionPipeline(_build_detector(args))
+    batch = pipeline.detect_batch(clips)
+    if args.json:
+        print(json.dumps({
+            "results": [
+                {"file": path,
+                 "is_adversarial": result.is_adversarial,
+                 "target_transcription": result.target_transcription,
+                 "scores": [float(s) for s in result.scores]}
+                for path, result in zip(args.wav, batch.results)
+            ],
+            "stage_seconds": batch.stage_seconds,
+            "cache_hits": batch.cache_hits,
+            "cache_misses": batch.cache_misses,
+        }, indent=2))
+    else:
+        for path, result in zip(args.wav, batch.results):
+            verdict = "ADVERSARIAL" if result.is_adversarial else "benign"
+            print(f"{verdict:<12} {path}  heard: "
+                  f"{result.target_transcription!r}  min score "
+                  f"{result.scores.min():.2f}")
+        print(f"screened {len(batch)} clips in "
+              f"{batch.stage_seconds['total']:.3f} s")
+    return 1 if batch.n_adversarial else 0
+
+
+# ------------------------------------------------------------------- stream
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.serving.chunker import StreamConfig
+    from repro.serving.streaming import StreamingDetector
+
+    try:
+        config = StreamConfig(window_seconds=args.window, hop_seconds=args.hop,
+                              trigger_windows=args.trigger,
+                              release_windows=args.release)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    clip, = _read_clips([args.wav])
+    detector = StreamingDetector(_build_detector(args), config=config)
+    result = detector.detect_stream(clip)
+    if args.json:
+        print(json.dumps({
+            "file": args.wav,
+            "is_adversarial": result.is_adversarial,
+            "windows": [
+                {"index": w.index, "start": w.start_seconds,
+                 "end": w.end_seconds, "is_adversarial": w.is_adversarial,
+                 "state": w.state,
+                 "target_transcription": w.target_transcription}
+                for w in result.windows
+            ],
+            "spans": [
+                {"start": span.start_seconds, "end": span.end_seconds,
+                 "n_windows": span.n_windows}
+                for span in result.spans
+            ],
+            "stage_seconds": result.stage_seconds,
+        }, indent=2))
+    else:
+        for w in result.windows:
+            mark = "!" if w.is_adversarial else " "
+            print(f"[{w.start_seconds:7.2f}s – {w.end_seconds:7.2f}s] {mark} "
+                  f"{w.state:<11} heard: {w.target_transcription!r}")
+        if result.spans:
+            for span in result.spans:
+                print(f"FLAGGED {span.start_seconds:.2f}s – "
+                      f"{span.end_seconds:.2f}s ({span.n_windows} windows)")
+        else:
+            print("stream clean: no adversarial spans")
+        print(f"{len(result)} windows in "
+              f"{result.stage_seconds['total']:.3f} s")
+    return 1 if result.is_adversarial else 0
+
+
+# -------------------------------------------------------------------- bench
+def _bench_workload(n_clips: int, seed: int):
+    from repro.asr.registry import get_shared_lexicon
+    from repro.audio.synthesis import SpeechSynthesizer
+    from repro.text.corpus import librispeech_like_corpus
+
+    rng = np.random.default_rng(seed)
+    synthesizer = SpeechSynthesizer(lexicon=get_shared_lexicon(), seed=seed)
+    sentences = librispeech_like_corpus().sample(n_clips, rng)
+    return [synthesizer.synthesize(sentence) for sentence in sentences]
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.pipeline.cache import TranscriptionCache
+    from repro.pipeline.detection import DetectionPipeline
+    from repro.serving.batcher import MicroBatcher
+    from repro.serving.metrics import ServingMetrics
+
+    detector = _build_detector(args)
+    clips = _bench_workload(args.clips, args.seed)
+    report: dict = {"clips": len(clips)}
+
+    # Sequential single-clip detection, cold private cache: the baseline.
+    detector.engine.cache = TranscriptionCache()
+    start = time.perf_counter()
+    for clip in clips:
+        detector.detect(clip)
+    report["sequential_seconds"] = time.perf_counter() - start
+
+    # Batched pipeline, cold private cache.
+    detector.engine.cache = TranscriptionCache()
+    metrics = ServingMetrics()
+    pipeline = DetectionPipeline(detector, observer=metrics.observe_batch)
+    start = time.perf_counter()
+    pipeline.detect_batch(clips)
+    report["batched_seconds"] = time.perf_counter() - start
+
+    # Micro-batched concurrent submission, cold private cache.
+    detector.engine.cache = TranscriptionCache()
+    start = time.perf_counter()
+    with MicroBatcher(pipeline, max_batch_size=args.batch_size,
+                      max_latency_seconds=args.max_latency,
+                      metrics=metrics) as batcher:
+        futures = batcher.submit_many(clips)
+        for future in futures:
+            future.result()
+    report["microbatch_seconds"] = time.perf_counter() - start
+    report["microbatch"] = {
+        "batches": batcher.stats.batches,
+        "mean_batch_size": batcher.stats.mean_batch_size,
+        "size_dispatches": batcher.stats.size_dispatches,
+        "latency_dispatches": batcher.stats.latency_dispatches,
+        "drain_dispatches": batcher.stats.drain_dispatches,
+    }
+
+    # Warm-cache replay through the batched pipeline.
+    start = time.perf_counter()
+    pipeline.detect_batch(clips)
+    report["warm_replay_seconds"] = time.perf_counter() - start
+    report["metrics"] = metrics.snapshot()
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    n = len(clips)
+    print(f"workload: {n} synthesised clips, scale={args.scale}, "
+          f"workers={detector.engine.workers}")
+    for label, key in (("sequential detect()", "sequential_seconds"),
+                       ("batched pipeline", "batched_seconds"),
+                       ("micro-batched", "microbatch_seconds"),
+                       ("warm-cache replay", "warm_replay_seconds")):
+        seconds = report[key]
+        rate = n / seconds if seconds > 0 else float("inf")
+        speedup = report["sequential_seconds"] / seconds if seconds > 0 else 0.0
+        print(f"{label:<20} {seconds:8.3f} s  {rate:7.1f} clips/s  "
+              f"{speedup:5.2f}x vs sequential")
+    micro = report["microbatch"]
+    print(f"micro-batches: {micro['batches']} "
+          f"(mean size {micro['mean_batch_size']:.2f}; "
+          f"{micro['size_dispatches']} size-, "
+          f"{micro['latency_dispatches']} latency-, "
+          f"{micro['drain_dispatches']} drain-triggered)")
+    print("\nserving metrics (batched + micro-batched + replay):")
+    print(metrics.format_table())
+    return 0
+
+
+# --------------------------------------------------------------------- main
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro`` and the ``repro`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
+    handlers = {"screen": cmd_screen, "stream": cmd_stream, "bench": cmd_bench}
+    try:
+        return handlers[args.command](args)
+    except CliError as exc:
+        # Bad inputs are reported briefly; genuine defects still traceback.
+        print(f"{PROG}: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""One-call construction of a fitted default detector.
+
+Every consumer that just wants "the detector from the paper, ready to
+screen audio" — the CLI, the examples, a notebook — repeats the same
+four steps: build the target ASR, build the auxiliaries, load the scored
+dataset for a scale preset, fit the classifier on its score vectors.
+:func:`default_detector` bundles them.
+
+The scored dataset is disk-cached under ``.repro_cache/`` (see
+:mod:`repro.datasets.scores`), so after the first call at a given scale
+this is cheap: the ASR simulators come from the registry cache and the
+classifier fits on a few hundred score vectors.
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import MVPEarsDetector
+
+#: Auxiliary suite of the paper's headline system DS0+{DS1, GCS, AT}.
+DEFAULT_AUXILIARIES: tuple[str, ...] = ("DS1", "GCS", "AT")
+
+
+def default_detector(target: str = "DS0",
+                     auxiliaries: tuple[str, ...] = DEFAULT_AUXILIARIES,
+                     classifier: str = "SVM",
+                     scale: str | None = None,
+                     workers: int | None = None,
+                     cache=True) -> MVPEarsDetector:
+    """Build and fit the paper's default detection system.
+
+    Args:
+        target: target ASR short name (the model under protection).
+        auxiliaries: auxiliary short names; must be drawn from the scored
+            dataset's auxiliary order (``DS1``, ``GCS``, ``AT``).
+        classifier: classifier registry name (default: the paper's SVM).
+        scale: scored-dataset scale preset used for training
+            (``tiny``/``small``/``medium``/``paper``; ``None`` reads
+            ``REPRO_SCALE``, defaulting to ``small``).
+        workers: transcription worker-pool size (``None``: CPU count,
+            ``0``: the sequential path).
+        cache: transcription cache policy, passed through to the engine.
+
+    Returns:
+        A fitted :class:`~repro.core.detector.MVPEarsDetector`.
+    """
+    # Imported lazily: repro.datasets itself builds on repro.core.
+    from repro.asr.registry import build_asr
+    from repro.datasets.scores import load_scored_dataset
+
+    detector = MVPEarsDetector(
+        build_asr(target),
+        [build_asr(name) for name in auxiliaries],
+        classifier=classifier,
+        workers=workers,
+        cache=cache,
+    )
+    dataset = load_scored_dataset(scale)
+    features, labels = dataset.features_for(tuple(auxiliaries))
+    return detector.fit_features(features, labels)

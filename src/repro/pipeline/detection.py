@@ -82,12 +82,19 @@ class DetectionPipeline:
         engine: the transcription engine to fan recognition out with.
             Defaults to the detector's own engine, so pipeline and
             single-clip detection share one cache and worker pool.
+        observer: optional callable invoked with every non-empty
+            :class:`BatchDetectionResult` this pipeline produces — the
+            hook the serving layer uses to accumulate throughput/latency
+            counters (see :class:`repro.serving.metrics.ServingMetrics`,
+            whose ``observe_batch`` method has this signature).
     """
 
     def __init__(self, detector: MVPEarsDetector,
-                 engine: TranscriptionEngine | None = None):
+                 engine: TranscriptionEngine | None = None,
+                 observer=None):
         self.detector = detector
         self.engine = engine if engine is not None else detector.engine
+        self.observer = observer
 
     # -------------------------------------------------------------- features
     def transcribe_batch(self, audios: list[Waveform]) -> list[SuiteTranscription]:
@@ -124,10 +131,12 @@ class DetectionPipeline:
 
         audios = list(audios)
         if not audios:
-            return BatchDetectionResult(results=[], features=np.zeros((0, 0)),
-                                        predictions=np.zeros(0, dtype=int),
-                                        stage_seconds=dict.fromkeys(
-                                            (*STAGE_KEYS, "total"), 0.0))
+            # Not observed: an empty batch did no work and would dilute
+            # observer throughput/batch-size statistics.
+            return BatchDetectionResult(
+                results=[], features=np.zeros((0, 0)),
+                predictions=np.zeros(0, dtype=int),
+                stage_seconds=dict.fromkeys((*STAGE_KEYS, "total"), 0.0))
         start = time.perf_counter()
         suites = self.engine.transcribe_batch(audios)
         recognition_end = time.perf_counter()
@@ -157,7 +166,7 @@ class DetectionPipeline:
             )
             for row, suite in enumerate(suites)
         ]
-        return BatchDetectionResult(
+        return self._observed(BatchDetectionResult(
             results=results,
             features=features,
             predictions=np.asarray(predictions, dtype=int),
@@ -172,4 +181,9 @@ class DetectionPipeline:
                 [suite.target.elapsed_seconds for suite in suites]),
             cache_hits=sum(suite.cache_hits for suite in suites),
             cache_misses=sum(suite.cache_misses for suite in suites),
-        )
+        ))
+
+    def _observed(self, batch: BatchDetectionResult) -> BatchDetectionResult:
+        if self.observer is not None:
+            self.observer(batch)
+        return batch

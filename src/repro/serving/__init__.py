@@ -1,0 +1,58 @@
+"""The serving layer: streaming detection and micro-batched scheduling.
+
+This package turns the batched :mod:`repro.pipeline` execution layer
+into a runtime guard that matches the paper's deployment story (a
+detector sitting on the serving path of a voice assistant, Section V-I):
+
+* :mod:`repro.serving.chunker` — :class:`StreamConfig` and the window
+  slicer cutting long/continuous audio into overlapping detection
+  windows.
+* :mod:`repro.serving.aggregator` — per-window verdicts folded into a
+  stream-level verdict with hysteresis; flagged time spans.
+* :mod:`repro.serving.streaming` — :class:`StreamingDetector` (one-shot
+  ``detect_stream`` and incremental :class:`StreamSession`).
+* :mod:`repro.serving.batcher` — :class:`MicroBatcher`, the async
+  micro-batching scheduler for concurrent single-clip requests.
+* :mod:`repro.serving.metrics` — :class:`ServingMetrics`, per-stage
+  throughput/latency counters surfaced by ``repro bench``.
+
+See ``docs/SERVING.md`` for the full tour and ``docs/API.md`` for the
+stable public surface.
+"""
+
+from repro.serving.aggregator import (
+    ADVERSARIAL,
+    BENIGN,
+    FlaggedSpan,
+    StreamAggregator,
+    StreamDetectionResult,
+    WindowVerdict,
+)
+from repro.serving.batcher import BatcherStats, MicroBatcher
+from repro.serving.chunker import (
+    StreamConfig,
+    StreamWindow,
+    chunk_waveform,
+    iter_windows,
+)
+from repro.serving.metrics import ServingMetrics, StageStats
+from repro.serving.streaming import StreamingDetector, StreamSession
+
+__all__ = [
+    "ADVERSARIAL",
+    "BENIGN",
+    "FlaggedSpan",
+    "StreamAggregator",
+    "StreamDetectionResult",
+    "WindowVerdict",
+    "BatcherStats",
+    "MicroBatcher",
+    "StreamConfig",
+    "StreamWindow",
+    "chunk_waveform",
+    "iter_windows",
+    "ServingMetrics",
+    "StageStats",
+    "StreamingDetector",
+    "StreamSession",
+]

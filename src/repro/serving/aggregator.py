@@ -1,0 +1,181 @@
+"""Stream-level verdict aggregation with hysteresis.
+
+Per-window detection is noisy at window boundaries: a window that
+straddles the edge of an adversarial example contains a mixture of
+benign and attacked audio, and a single benign window can score oddly
+(silence, a cough, music).  :class:`StreamAggregator` therefore applies
+hysteresis to the per-window verdict sequence — the stream-level state
+only flips to *adversarial* after ``trigger_windows`` consecutive
+adversarial windows, and only releases back to *benign* after
+``release_windows`` consecutive benign windows.  The spans of stream
+time covered by an adversarial episode are reported as
+:class:`FlaggedSpan` objects (span boundaries are the extent of the
+adversarial windows in the episode, including the ones that accumulated
+toward the trigger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Stream-level states reported by the aggregator.
+BENIGN, ADVERSARIAL = "benign", "adversarial"
+
+
+@dataclass(frozen=True)
+class WindowVerdict:
+    """Per-window detection outcome annotated with stream position.
+
+    Attributes:
+        index: window index in stream order.
+        start_seconds: window start within the stream.
+        end_seconds: window end within the stream.
+        is_adversarial: the classifier's verdict for this window alone.
+        scores: the window's per-auxiliary similarity scores.
+        target_transcription: what the target ASR heard in this window.
+        state: the aggregator's stream-level state *after* this window.
+    """
+
+    index: int
+    start_seconds: float
+    end_seconds: float
+    is_adversarial: bool
+    scores: np.ndarray
+    target_transcription: str
+    state: str = BENIGN
+
+
+@dataclass(frozen=True)
+class FlaggedSpan:
+    """A contiguous stretch of stream time flagged as adversarial.
+
+    Attributes:
+        start_seconds: start of the first adversarial window in the span.
+        end_seconds: end of the last adversarial window in the span.
+        n_windows: number of adversarial windows in the span.
+    """
+
+    start_seconds: float
+    end_seconds: float
+    n_windows: int
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end_seconds - self.start_seconds
+
+
+@dataclass(frozen=True)
+class StreamDetectionResult:
+    """Outcome of screening one audio stream.
+
+    Attributes:
+        windows: per-window verdicts in stream order.
+        spans: flagged adversarial spans (empty for a clean stream).
+        stage_seconds: accumulated per-stage wall-clock seconds over all
+            pipeline batches that served this stream.
+        cache_hits: transcriptions served from the engine cache.
+        cache_misses: transcriptions actually decoded.
+    """
+
+    windows: list[WindowVerdict]
+    spans: list[FlaggedSpan]
+    stage_seconds: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    @property
+    def is_adversarial(self) -> bool:
+        """True when any span of the stream was flagged."""
+        return bool(self.spans)
+
+    @property
+    def n_adversarial_windows(self) -> int:
+        """Number of windows individually classified adversarial."""
+        return sum(w.is_adversarial for w in self.windows)
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """Per-window labels (0 benign, 1 adversarial), in stream order."""
+        return np.array([int(w.is_adversarial) for w in self.windows], dtype=int)
+
+
+class StreamAggregator:
+    """Folds per-window verdicts into a hysteresis stream verdict.
+
+    Args:
+        trigger_windows: consecutive adversarial windows needed to flip
+            the stream state to adversarial.
+        release_windows: consecutive benign windows needed to release an
+            adversarial state back to benign.
+    """
+
+    def __init__(self, trigger_windows: int = 2, release_windows: int = 2):
+        if trigger_windows < 1:
+            raise ValueError("trigger_windows must be >= 1")
+        if release_windows < 1:
+            raise ValueError("release_windows must be >= 1")
+        self.trigger_windows = trigger_windows
+        self.release_windows = release_windows
+        self.state = BENIGN
+        self.spans: list[FlaggedSpan] = []
+        self._adversarial_streak = 0
+        self._benign_streak = 0
+        # Extent of the adversarial episode being accumulated/held:
+        # (start_seconds, end_seconds, n adversarial windows).
+        self._episode: tuple[float, float, int] | None = None
+
+    def update(self, start_seconds: float, end_seconds: float,
+               is_adversarial: bool) -> str:
+        """Fold one window verdict in; returns the stream state after it."""
+        if is_adversarial:
+            self._benign_streak = 0
+            self._adversarial_streak += 1
+            if self._episode is None:
+                self._episode = (start_seconds, end_seconds, 1)
+            else:
+                first, _, count = self._episode
+                self._episode = (first, end_seconds, count + 1)
+            if self._adversarial_streak >= self.trigger_windows:
+                self.state = ADVERSARIAL
+        else:
+            self._adversarial_streak = 0
+            if self.state == ADVERSARIAL:
+                self._benign_streak += 1
+                if self._benign_streak >= self.release_windows:
+                    self._close_episode()
+                    self.state = BENIGN
+                    self._benign_streak = 0
+            else:
+                # A sub-trigger run of adversarial windows followed by a
+                # benign window never fired — discard the pending episode.
+                self._episode = None
+        return self.state
+
+    def _close_episode(self) -> None:
+        if self._episode is not None:
+            start, end, count = self._episode
+            self.spans.append(FlaggedSpan(start_seconds=start,
+                                          end_seconds=end, n_windows=count))
+            self._episode = None
+
+    def finalize(self) -> list[FlaggedSpan]:
+        """Close any open adversarial episode and return all spans.
+
+        A pending sub-trigger streak at end of stream is discarded (it
+        never fired); an episode that did fire is closed at the last
+        adversarial window seen.
+        """
+        if self.state == ADVERSARIAL:
+            self._close_episode()
+            self.state = BENIGN
+        else:
+            self._episode = None
+        self._adversarial_streak = 0
+        self._benign_streak = 0
+        return self.spans

@@ -1,0 +1,234 @@
+"""Micro-batching scheduler for concurrent detection requests.
+
+A deployed detector receives requests from many clients at once, and the
+:class:`~repro.pipeline.detection.DetectionPipeline` is much cheaper per
+clip when driven in batches (one vectorised classifier call, a full
+(waveform × ASR) task grid keeping the transcription pool busy).
+:class:`MicroBatcher` bridges the two: callers :meth:`submit` single
+clips and get a future back, while a background scheduler thread
+collects queued requests into batches and drives the pipeline.
+
+A batch is dispatched when either trigger fires:
+
+* **size** — ``max_batch_size`` requests are waiting, or
+* **latency** — the *oldest* queued request has waited
+  ``max_latency_seconds`` (so a lone request is still served promptly —
+  the single-request fallback is just a batch of one).
+
+Requests are isolated from each other: if a batch fails, every request
+in it is retried individually, so a poison input fails only its own
+future while the rest of the batch still gets verdicts.
+
+The scheduler reuses whatever engine the pipeline's detector holds, so
+the content-hash transcription cache is shared across *all* requests —
+two clients submitting the same viral audio clip cost one decode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.audio.waveform import Waveform
+from repro.serving.metrics import ServingMetrics
+
+
+@dataclass
+class BatcherStats:
+    """Dispatch counters of one :class:`MicroBatcher`."""
+
+    requests: int = 0
+    batches: int = 0
+    size_dispatches: int = 0
+    latency_dispatches: int = 0
+    drain_dispatches: int = 0
+    isolated_failures: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean requests per dispatched batch (0 when idle)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Request:
+    audio: Waveform
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class MicroBatcher:
+    """Collects concurrent ``submit()`` calls into pipeline batches.
+
+    Args:
+        pipeline: the batched detection pipeline to drive (anything with
+            a ``detect_batch(list[Waveform]) -> BatchDetectionResult``).
+        max_batch_size: dispatch as soon as this many requests queue.
+        max_latency_seconds: dispatch once the oldest queued request has
+            waited this long, whatever the batch size.  ``0`` dispatches
+            immediately (no batching benefit, minimal added latency).
+        metrics: optional :class:`ServingMetrics` receiving batch stage
+            timings, request latencies and queue waits.
+    """
+
+    def __init__(self, pipeline, max_batch_size: int = 8,
+                 max_latency_seconds: float = 0.01,
+                 metrics: ServingMetrics | None = None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_latency_seconds < 0:
+            raise ValueError("max_latency_seconds must be >= 0")
+        self.pipeline = pipeline
+        self.max_batch_size = max_batch_size
+        self.max_latency_seconds = max_latency_seconds
+        self.metrics = metrics
+        self.stats = BatcherStats()
+        self._queue: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------ lifecycle
+    def _ensure_thread(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._loop, daemon=True,
+                                            name="repro-microbatch")
+            self._thread.start()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain the queue, then stop the scheduler."""
+        with self._cond:
+            if self._closed:
+                thread = self._thread
+                if wait and thread is not None:
+                    thread.join()
+                return
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if wait and thread is not None:
+            thread.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- submission
+    def submit(self, audio: Waveform) -> Future:
+        """Enqueue one clip; the future resolves to its ``DetectionResult``."""
+        request = _Request(audio=audio)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.append(request)
+            self._ensure_thread()
+            self._cond.notify_all()
+        return request.future
+
+    def submit_many(self, audios: list[Waveform]) -> list[Future]:
+        """Enqueue several clips at once (one future per clip)."""
+        return [self.submit(audio) for audio in audios]
+
+    def detect(self, audio: Waveform):
+        """Synchronous convenience: submit one clip and wait for it."""
+        return self.submit(audio).result()
+
+    def detect_many(self, audios: list[Waveform]) -> list:
+        """Submit a list of clips and wait for all results, in order."""
+        return [future.result() for future in self.submit_many(audios)]
+
+    # ------------------------------------------------------------ scheduler
+    def _take_batch(self) -> tuple[list[_Request], str] | None:
+        """Block until a batch is due; ``None`` means shut down."""
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None  # closed and drained
+            deadline = self._queue[0].enqueued_at + self.max_latency_seconds
+            while (len(self._queue) < self.max_batch_size
+                   and not self._closed):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            reason = ("size" if len(self._queue) >= self.max_batch_size
+                      else "drain" if self._closed else "latency")
+            count = min(self.max_batch_size, len(self._queue))
+            return [self._queue.popleft() for _ in range(count)], reason
+
+    def _loop(self) -> None:
+        while True:
+            taken = self._take_batch()
+            if taken is None:
+                return
+            batch, reason = taken
+            try:
+                self._dispatch(batch, reason)
+            except Exception as exc:  # backstop: never kill the scheduler
+                # Anything unexpected (a raising metrics observer, a
+                # misbehaving pipeline) fails the affected requests
+                # instead of leaving their futures hanging forever.
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def _dispatch(self, batch: list[_Request], reason: str) -> None:
+        dispatched_at = time.monotonic()
+        live = [request for request in batch
+                if request.future.set_running_or_notify_cancel()]
+        self.stats.requests += len(live)
+        if not live:
+            return
+        self.stats.batches += 1
+        self.stats.largest_batch = max(self.stats.largest_batch, len(live))
+        counter = {"size": "size_dispatches",
+                   "latency": "latency_dispatches",
+                   "drain": "drain_dispatches"}[reason]
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        if self.metrics is not None:
+            for request in live:
+                self.metrics.observe_queue_wait(
+                    dispatched_at - request.enqueued_at)
+        self._run_batch(live)
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        try:
+            result = self.pipeline.detect_batch(
+                [request.audio for request in batch])
+            if len(result.results) != len(batch):
+                raise RuntimeError(
+                    f"pipeline returned {len(result.results)} results "
+                    f"for a batch of {len(batch)}")
+        except Exception:
+            self._run_isolated(batch)
+            return
+        self._resolve(batch, result.results)
+
+    def _run_isolated(self, batch: list[_Request]) -> None:
+        """Per-request retry after a batch failure (exception isolation)."""
+        for request in batch:
+            try:
+                result = self.pipeline.detect_batch([request.audio])
+                if len(result.results) != 1:
+                    raise RuntimeError(
+                        f"pipeline returned {len(result.results)} results "
+                        f"for a single request")
+            except Exception as exc:
+                self.stats.isolated_failures += 1
+                request.future.set_exception(exc)
+            else:
+                self._resolve([request], result.results)
+
+    def _resolve(self, batch: list[_Request], results: list) -> None:
+        finished_at = time.monotonic()
+        for request, result in zip(batch, results):
+            if self.metrics is not None:
+                self.metrics.observe_latency(finished_at - request.enqueued_at)
+            request.future.set_result(result)

@@ -1,0 +1,186 @@
+"""Slicing long or continuous audio into detection windows.
+
+The paper evaluates MVP-EARS on pre-cut utterances, but its deployment
+story (a guard in front of a voice assistant, Section V-I) implies audio
+that never stops: an always-listening microphone, a podcast, a phone
+call.  :class:`StreamConfig` describes how such a stream is cut into
+overlapping detection windows — a window length, a hop between window
+starts, and a policy for the trailing partial window — and
+:func:`iter_windows` / :func:`chunk_waveform` apply it to a
+:class:`~repro.audio.waveform.Waveform`.
+
+Window semantics (see ``docs/SERVING.md`` for diagrams):
+
+* window ``i`` covers samples ``[i * hop, i * hop + window)``;
+* every window whose full extent fits in the stream is emitted;
+* the trailing partial window ``[n_full * hop, end)`` is emitted when it
+  contains audio no full window covered AND is at least
+  ``min_tail_fraction`` of a full window — except that a stream shorter
+  than one window always yields its single partial window, so short
+  clips are never silently dropped.
+
+Slices share memory with the source array (numpy views) until a
+downstream consumer copies them, so chunking a long recording is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.audio.waveform import Waveform
+
+#: Default window length in seconds.
+DEFAULT_WINDOW_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """How a continuous stream is windowed and how verdicts aggregate.
+
+    Attributes:
+        window_seconds: length of one detection window.
+        hop_seconds: distance between consecutive window starts.  Equal
+            to ``window_seconds`` gives non-overlapping tiling (the
+            setting under which streaming detection reproduces per-clip
+            detection exactly); smaller values overlap windows so an AE
+            straddling a boundary is still seen whole by some window.
+            ``None`` defaults to ``window_seconds / 2``.
+        min_tail_fraction: emit the trailing partial window only when it
+            is at least this fraction of a full window (a stream shorter
+            than one window is always emitted whole).
+        trigger_windows: consecutive adversarial windows needed before
+            the stream-level verdict flips to adversarial (hysteresis —
+            one noisy window does not flip the stream).
+        release_windows: consecutive benign windows needed before an
+            adversarial stream verdict releases back to benign.
+    """
+
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    hop_seconds: float | None = None
+    min_tail_fraction: float = 0.25
+    trigger_windows: int = 2
+    release_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.hop_seconds is None:
+            object.__setattr__(self, "hop_seconds", self.window_seconds / 2)
+        if self.hop_seconds <= 0:
+            raise ValueError("hop_seconds must be positive")
+        if not 0.0 <= self.min_tail_fraction <= 1.0:
+            raise ValueError("min_tail_fraction must be in [0, 1]")
+        if self.trigger_windows < 1:
+            raise ValueError("trigger_windows must be >= 1")
+        if self.release_windows < 1:
+            raise ValueError("release_windows must be >= 1")
+
+    def window_samples(self, sample_rate: int) -> int:
+        """Window length in samples at ``sample_rate`` (at least 1)."""
+        return max(1, round(self.window_seconds * sample_rate))
+
+    def hop_samples(self, sample_rate: int) -> int:
+        """Hop length in samples at ``sample_rate`` (at least 1)."""
+        return max(1, round(self.hop_seconds * sample_rate))
+
+    def min_tail_samples(self, sample_rate: int) -> int:
+        """Smallest trailing partial window emitted, in samples."""
+        return max(1, round(self.min_tail_fraction
+                            * self.window_samples(sample_rate)))
+
+
+@dataclass(frozen=True)
+class StreamWindow:
+    """One detection window cut from a stream.
+
+    Attributes:
+        index: 0-based window index in stream order.
+        start_sample: absolute start position in the stream, in samples.
+        end_sample: absolute end position (exclusive), in samples.
+        audio: the window's samples as a :class:`Waveform`, carrying
+            ``stream_window``/``stream_start_seconds`` metadata.
+    """
+
+    index: int
+    start_sample: int
+    end_sample: int
+    audio: Waveform
+
+    @property
+    def start_seconds(self) -> float:
+        """Window start within the stream, in seconds."""
+        return self.start_sample / self.audio.sample_rate
+
+    @property
+    def end_seconds(self) -> float:
+        """Window end within the stream, in seconds."""
+        return self.end_sample / self.audio.sample_rate
+
+    @property
+    def duration(self) -> float:
+        """Window length in seconds (shorter for the tail window)."""
+        return (self.end_sample - self.start_sample) / self.audio.sample_rate
+
+
+def tail_window_span(next_start: int, covered_end: int, stream_end: int,
+                     min_tail_samples: int,
+                     windows_cut: bool) -> tuple[int, int] | None:
+    """The trailing partial window ``(start, end)``, or ``None`` if dropped.
+
+    This is the single implementation of the tail policy, shared by the
+    offline chunker and the incremental
+    :class:`~repro.serving.streaming.StreamSession` so the two can never
+    diverge: no tail when the last full window already reached the
+    stream end, no tail shorter than ``min_tail_samples`` — unless no
+    window was cut at all (a stream shorter than one window is always
+    emitted whole).
+    """
+    if stream_end <= covered_end:
+        return None
+    tail = stream_end - next_start
+    if tail <= 0:
+        return None
+    if windows_cut and tail < min_tail_samples:
+        return None
+    return next_start, stream_end
+
+
+def _make_window(stream: Waveform, index: int, start: int, end: int) -> StreamWindow:
+    audio = stream.with_samples(
+        stream.samples[start:end],
+        stream_window=index,
+        stream_start_seconds=start / stream.sample_rate,
+    )
+    return StreamWindow(index=index, start_sample=start, end_sample=end,
+                        audio=audio)
+
+
+def iter_windows(stream: Waveform,
+                 config: StreamConfig | None = None) -> Iterator[StreamWindow]:
+    """Yield the detection windows of ``stream`` under ``config``."""
+    config = config or StreamConfig()
+    n = len(stream)
+    if n == 0:
+        return
+    window = config.window_samples(stream.sample_rate)
+    hop = config.hop_samples(stream.sample_rate)
+    index = 0
+    start = 0
+    covered_end = 0
+    while start + window <= n:
+        yield _make_window(stream, index, start, start + window)
+        covered_end = start + window
+        index += 1
+        start += hop
+    tail = tail_window_span(start, covered_end, n,
+                            config.min_tail_samples(stream.sample_rate),
+                            windows_cut=index > 0)
+    if tail is not None:
+        yield _make_window(stream, index, *tail)
+
+
+def chunk_waveform(stream: Waveform,
+                   config: StreamConfig | None = None) -> list[StreamWindow]:
+    """The detection windows of ``stream`` as a list (see :func:`iter_windows`)."""
+    return list(iter_windows(stream, config))

@@ -1,0 +1,116 @@
+"""Tests for the ``repro`` command line (``python -m repro``)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.audio.waveform import Waveform
+from repro.audio.wavio import write_wav
+from repro.cli import build_parser, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def wav_paths(tmp_path_factory, synthesizer):
+    directory = tmp_path_factory.mktemp("clips")
+    paths = []
+    for i, text in enumerate(("turn off all the lights",
+                              "the weather is nice today")):
+        path = str(directory / f"clip{i}.wav")
+        write_wav(path, synthesizer.synthesize(text))
+        paths.append(path)
+    return paths
+
+
+@pytest.fixture(scope="module")
+def stream_path(tmp_path_factory, synthesizer):
+    clips = [synthesizer.synthesize(text)
+             for text in ("open the front door",
+                          "the storm passed over the hills before sunset")]
+    samples = np.concatenate([clip.samples for clip in clips])
+    path = str(tmp_path_factory.mktemp("stream") / "stream.wav")
+    write_wav(path, Waveform(samples))
+    return path
+
+
+def test_help_exits_zero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 0
+    assert "screen" in capsys.readouterr().out
+
+
+def test_parser_covers_documented_commands():
+    parser = build_parser()
+    assert {"screen", "stream", "bench"} <= set(
+        parser._subparsers._group_actions[0].choices)
+
+
+def test_screen_command(wav_paths, capsys):
+    code = main(["screen", *wav_paths, "--scale", "tiny"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)
+    for path in wav_paths:
+        assert path in out
+    assert "screened 2 clips" in out
+
+
+def test_screen_json_output(wav_paths, capsys):
+    code = main(["screen", wav_paths[0], "--scale", "tiny", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code in (0, 1)
+    assert len(payload["results"]) == 1
+    result = payload["results"][0]
+    assert result["file"] == wav_paths[0]
+    assert isinstance(result["is_adversarial"], bool)
+    assert isinstance(result["target_transcription"], str)
+    assert (code == 1) == any(r["is_adversarial"] for r in payload["results"])
+
+
+def test_stream_command_json(stream_path, capsys):
+    code = main(["stream", stream_path, "--scale", "tiny",
+                 "--window", "1.0", "--hop", "1.0", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code in (0, 1)
+    assert payload["windows"]
+    starts = [w["start"] for w in payload["windows"]]
+    assert starts == sorted(starts)
+    assert (code == 1) == payload["is_adversarial"]
+
+
+def test_bench_command_json(capsys):
+    code = main(["bench", "--clips", "3", "--batch-size", "2",
+                 "--scale", "tiny", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["clips"] == 3
+    assert payload["sequential_seconds"] > 0
+    assert payload["batched_seconds"] > 0
+    assert payload["microbatch_seconds"] > 0
+    assert payload["metrics"]["requests"] >= 6  # batched + micro + replay
+    assert payload["microbatch"]["batches"] >= 1
+
+
+def test_missing_wav_is_a_user_error(capsys):
+    assert main(["screen", "/nonexistent/clip.wav"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_python_dash_m_repro_runs():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, timeout=120, env=env, cwd=REPO_ROOT)
+    assert completed.returncode == 0
+    assert "screen" in completed.stdout

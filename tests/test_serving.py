@@ -1,0 +1,467 @@
+"""Tests for the serving layer: chunker, aggregator, streaming, micro-batcher."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.audio.waveform import Waveform
+from repro.core.detector import MVPEarsDetector
+from repro.pipeline.detection import DetectionPipeline
+from repro.serving.aggregator import ADVERSARIAL, BENIGN, StreamAggregator
+from repro.serving.batcher import MicroBatcher
+from repro.serving.chunker import StreamConfig, chunk_waveform
+from repro.serving.metrics import ServingMetrics
+from repro.serving.streaming import StreamingDetector
+
+SR = 16_000
+
+
+def _train(detector, rng):
+    n_aux = detector.n_features
+    features = np.vstack([rng.uniform(0.85, 1.0, (40, n_aux)),
+                          rng.uniform(0.0, 0.4, (40, n_aux))])
+    labels = np.concatenate([np.zeros(40, dtype=int), np.ones(40, dtype=int)])
+    return detector.fit_features(features, labels)
+
+
+@pytest.fixture(scope="module")
+def detector(ds0, asr_suite, rng):
+    return _train(MVPEarsDetector(ds0, [asr_suite["DS1"], asr_suite["GCS"]],
+                                  workers=2, cache=False), rng)
+
+
+@pytest.fixture(scope="module")
+def clips(synthesizer):
+    sentences = (
+        "the storm passed over the hills before sunset",
+        "open the front door",
+        "the captain studied the map for a long time",
+    )
+    return [synthesizer.synthesize(text) for text in sentences]
+
+
+def _ramp(n, sample_rate=SR):
+    return Waveform(np.linspace(-0.5, 0.5, n), sample_rate=sample_rate)
+
+
+# ---------------------------------------------------------------- chunker
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StreamConfig(window_seconds=0)
+    with pytest.raises(ValueError):
+        StreamConfig(hop_seconds=-1.0)
+    with pytest.raises(ValueError):
+        StreamConfig(min_tail_fraction=1.5)
+    with pytest.raises(ValueError):
+        StreamConfig(trigger_windows=0)
+    assert StreamConfig(window_seconds=2.0).hop_seconds == 1.0  # default half
+
+
+def test_chunker_exact_tiling():
+    config = StreamConfig(window_seconds=1.0, hop_seconds=1.0)
+    windows = chunk_waveform(_ramp(3 * SR), config)
+    assert [w.start_sample for w in windows] == [0, SR, 2 * SR]
+    assert all(w.end_sample - w.start_sample == SR for w in windows)
+    assert [w.index for w in windows] == [0, 1, 2]
+    # The window samples are exactly the stream slices.
+    stream = _ramp(3 * SR)
+    for w in windows:
+        assert np.array_equal(w.audio.samples,
+                              stream.samples[w.start_sample:w.end_sample])
+
+
+def test_chunker_overlap_and_boundaries():
+    config = StreamConfig(window_seconds=1.0, hop_seconds=0.5,
+                          min_tail_fraction=0.25)
+    # Exactly 2 windows fit in 1.5 s with 0.5 s hop: [0,1) and [0.5,1.5).
+    windows = chunk_waveform(_ramp(int(1.5 * SR)), config)
+    assert [(w.start_sample, w.end_sample) for w in windows] == [
+        (0, SR), (SR // 2, SR + SR // 2)]
+    # One extra sample creates a tail [1.0s, 1.5s+1] that clears 25%.
+    windows = chunk_waveform(_ramp(int(1.5 * SR) + 1), config)
+    assert windows[-1].start_sample == SR
+    assert windows[-1].end_sample == int(1.5 * SR) + 1
+
+
+def test_chunker_tail_policy():
+    config = StreamConfig(window_seconds=1.0, hop_seconds=1.0,
+                          min_tail_fraction=0.5)
+    # Tail of 0.25 window < 0.5 threshold: dropped.
+    assert len(chunk_waveform(_ramp(SR + SR // 4), config)) == 1
+    # Tail of 0.5 window meets the threshold: emitted.
+    windows = chunk_waveform(_ramp(SR + SR // 2), config)
+    assert len(windows) == 2
+    assert windows[-1].duration == pytest.approx(0.5)
+    # A stream shorter than one window is always emitted whole.
+    short = chunk_waveform(_ramp(SR // 8), config)
+    assert len(short) == 1
+    assert short[0].duration == pytest.approx(1 / 8)
+    # Empty stream: no windows.
+    assert chunk_waveform(Waveform(np.zeros(0), sample_rate=SR), config) == []
+
+
+class GeometryStubPipeline:
+    """Returns benign placeholder results; used to compare window cuts."""
+
+    def detect_batch(self, audios):
+        from repro.core.detector import DetectionResult
+        from repro.pipeline.detection import BatchDetectionResult
+
+        results = [DetectionResult(is_adversarial=False, scores=np.zeros(1),
+                                   target_transcription="", elapsed_seconds=0.0,
+                                   auxiliary_transcriptions={})
+                   for _ in audios]
+        return BatchDetectionResult(
+            results=results, features=np.zeros((len(audios), 1)),
+            predictions=np.zeros(len(audios), dtype=int),
+            stage_seconds={"total": 0.0})
+
+
+@pytest.mark.parametrize("n_samples,window,hop,tail", [
+    (3 * SR, 1.0, 1.0, 0.25),          # exact tiling
+    (int(2.3 * SR), 1.0, 0.5, 0.25),   # overlap with tail
+    (int(1.5 * SR), 1.0, 0.5, 0.25),   # overlap, covered end (no tail)
+    (int(2.6 * SR), 0.5, 0.8, 0.25),   # hop > window (sparse sampling)
+    (SR + SR // 8, 1.0, 1.0, 0.5),     # tail below threshold: dropped
+    (SR // 4, 1.0, 1.0, 0.5),          # shorter than one window
+])
+def test_session_cuts_same_windows_as_offline_chunker(n_samples, window,
+                                                      hop, tail):
+    """The incremental session and iter_windows share one geometry."""
+    config = StreamConfig(window_seconds=window, hop_seconds=hop,
+                          min_tail_fraction=tail)
+    stream = _ramp(n_samples)
+    offline = [(w.start_sample, w.end_sample)
+               for w in chunk_waveform(stream, config)]
+
+    streaming = StreamingDetector(pipeline=GeometryStubPipeline(),
+                                  config=config)
+    one_shot = streaming.detect_stream(stream)
+    session = streaming.session()
+    step = int(0.3 * SR)  # pushes never aligned with window boundaries
+    for start in range(0, n_samples, step):
+        session.push(Waveform(stream.samples[start:start + step],
+                              sample_rate=SR))
+    incremental = session.flush()
+
+    for result in (one_shot, incremental):
+        cut = [(round(w.start_seconds * SR), round(w.end_seconds * SR))
+               for w in result.windows]
+        assert cut == offline
+
+
+# -------------------------------------------------------------- aggregator
+
+
+def _feed(aggregator, verdicts):
+    states = []
+    for i, adversarial in enumerate(verdicts):
+        states.append(aggregator.update(float(i), float(i + 1), adversarial))
+    return states
+
+
+def test_hysteresis_single_noisy_window_does_not_flip():
+    aggregator = StreamAggregator(trigger_windows=2, release_windows=2)
+    states = _feed(aggregator, [False, True, False, False])
+    assert states == [BENIGN] * 4
+    assert aggregator.finalize() == []
+
+
+def test_hysteresis_trigger_and_release():
+    aggregator = StreamAggregator(trigger_windows=2, release_windows=2)
+    states = _feed(aggregator, [False, True, True, True, False, False, False])
+    assert states == [BENIGN, BENIGN, ADVERSARIAL, ADVERSARIAL,
+                      ADVERSARIAL, BENIGN, BENIGN]
+    spans = aggregator.finalize()
+    assert len(spans) == 1
+    # The span covers every adversarial window of the episode, including
+    # the one that accumulated toward the trigger.
+    assert (spans[0].start_seconds, spans[0].end_seconds) == (1.0, 4.0)
+    assert spans[0].n_windows == 3
+
+
+def test_hysteresis_open_episode_closed_at_finalize():
+    aggregator = StreamAggregator(trigger_windows=2, release_windows=2)
+    _feed(aggregator, [True, True])
+    assert aggregator.state == ADVERSARIAL
+    spans = aggregator.finalize()
+    assert len(spans) == 1
+    assert (spans[0].start_seconds, spans[0].end_seconds) == (0.0, 2.0)
+
+
+def test_hysteresis_trigger_one_flags_immediately():
+    aggregator = StreamAggregator(trigger_windows=1, release_windows=1)
+    states = _feed(aggregator, [True, False, True])
+    assert states == [ADVERSARIAL, BENIGN, ADVERSARIAL]
+    assert len(aggregator.finalize()) == 2
+
+
+def test_sub_trigger_streak_discarded_on_benign():
+    aggregator = StreamAggregator(trigger_windows=3, release_windows=1)
+    _feed(aggregator, [True, True, False, True, True, True])
+    spans = aggregator.finalize()
+    assert len(spans) == 1
+    assert spans[0].start_seconds == 3.0  # episode restarts after the reset
+
+
+# --------------------------------------------------------------- streaming
+
+
+def test_streaming_matches_per_clip_verdicts(detector, clips):
+    """Acceptance: window-aligned streaming == per-clip detection."""
+    longest = max(len(clip) for clip in clips)
+    padded = [clip.padded_to(longest) for clip in clips]
+    stream = Waveform(np.concatenate([clip.samples for clip in padded]),
+                      sample_rate=SR)
+    config = StreamConfig(window_seconds=longest / SR,
+                          hop_seconds=longest / SR, trigger_windows=1,
+                          release_windows=1)
+    result = StreamingDetector(detector, config=config).detect_stream(stream)
+    assert len(result) == len(clips)
+    for clip, window in zip(padded, result.windows):
+        single = detector.detect(clip)
+        assert window.is_adversarial == single.is_adversarial
+        assert np.array_equal(window.scores, single.scores)
+        assert window.target_transcription == single.target_transcription
+
+
+def test_streaming_incremental_matches_one_shot(detector, clips):
+    stream = Waveform(np.concatenate([clip.samples for clip in clips]),
+                      sample_rate=SR)
+    config = StreamConfig(window_seconds=0.8, hop_seconds=0.4)
+    one_shot = StreamingDetector(detector, config=config).detect_stream(stream)
+
+    session = StreamingDetector(detector, config=config).session()
+    # Push in awkward 0.3 s pieces so window boundaries never align with
+    # push boundaries.
+    step = int(0.3 * SR)
+    for start in range(0, len(stream), step):
+        session.push(Waveform(stream.samples[start:start + step],
+                              sample_rate=SR))
+    incremental = session.flush()
+
+    assert len(incremental) == len(one_shot)
+    for a, b in zip(one_shot.windows, incremental.windows):
+        assert (a.start_seconds, a.end_seconds) == (b.start_seconds, b.end_seconds)
+        assert a.is_adversarial == b.is_adversarial
+        assert np.array_equal(a.scores, b.scores)
+    assert [tuple((s.start_seconds, s.end_seconds)) for s in one_shot.spans] == \
+           [tuple((s.start_seconds, s.end_seconds)) for s in incremental.spans]
+
+
+def test_stream_session_guards(detector):
+    session = StreamingDetector(detector).session()
+    session.push(_ramp(SR // 2))
+    with pytest.raises(ValueError):
+        session.push(_ramp(100, sample_rate=8_000))
+    result = session.flush()
+    assert len(result) == 1  # short stream emitted whole
+    with pytest.raises(RuntimeError):
+        session.push(_ramp(100))
+    with pytest.raises(RuntimeError):
+        session.flush()
+    with pytest.raises(ValueError):
+        StreamingDetector()  # neither detector nor pipeline
+
+
+# ------------------------------------------------------------ micro-batcher
+
+
+class StubPipeline:
+    """Counts detect_batch calls; fails whole batches containing poison."""
+
+    def __init__(self):
+        self.batches = []
+
+    def detect_batch(self, audios):
+        from repro.pipeline.detection import BatchDetectionResult
+
+        self.batches.append(len(audios))
+        if any(audio.label == "poison" for audio in audios):
+            raise RuntimeError("poison in batch")
+        results = [f"ok:{audio.label}" for audio in audios]
+        return BatchDetectionResult(
+            results=results, features=np.zeros((len(audios), 1)),
+            predictions=np.zeros(len(audios), dtype=int),
+            stage_seconds={"total": 0.0})
+
+
+def _tagged(label):
+    return Waveform(np.zeros(16), sample_rate=SR, label=label)
+
+
+def test_batcher_size_trigger():
+    pipeline = StubPipeline()
+    with MicroBatcher(pipeline, max_batch_size=3,
+                      max_latency_seconds=10.0) as batcher:
+        futures = batcher.submit_many([_tagged(f"c{i}") for i in range(3)])
+        # Dispatched by size, long before the 10 s latency deadline.
+        results = [f.result(timeout=5) for f in futures]
+    assert results == ["ok:c0", "ok:c1", "ok:c2"]
+    assert batcher.stats.size_dispatches >= 1
+    assert batcher.stats.latency_dispatches == 0
+    assert max(pipeline.batches) == 3
+
+
+def test_batcher_latency_trigger():
+    pipeline = StubPipeline()
+    with MicroBatcher(pipeline, max_batch_size=100,
+                      max_latency_seconds=0.05) as batcher:
+        future = batcher.submit(_tagged("solo"))
+        assert future.result(timeout=5) == "ok:solo"
+        # Single-request fallback: a batch of one, dispatched on latency.
+        assert batcher.stats.latency_dispatches == 1
+        assert batcher.stats.largest_batch == 1
+
+
+def test_batcher_immediate_dispatch_with_zero_latency():
+    pipeline = StubPipeline()
+    with MicroBatcher(pipeline, max_batch_size=8,
+                      max_latency_seconds=0.0) as batcher:
+        assert batcher.detect(_tagged("now")) == "ok:now"
+
+
+def test_batcher_exception_isolation():
+    pipeline = StubPipeline()
+    with MicroBatcher(pipeline, max_batch_size=4,
+                      max_latency_seconds=10.0) as batcher:
+        futures = batcher.submit_many(
+            [_tagged("a"), _tagged("poison"), _tagged("b"), _tagged("c")])
+        # The poisoned request fails alone; its batch-mates all succeed.
+        assert futures[0].result(timeout=5) == "ok:a"
+        with pytest.raises(RuntimeError, match="poison"):
+            futures[1].result(timeout=5)
+        assert futures[2].result(timeout=5) == "ok:b"
+        assert futures[3].result(timeout=5) == "ok:c"
+    assert batcher.stats.isolated_failures == 1
+
+
+def test_batcher_drains_on_close():
+    pipeline = StubPipeline()
+    batcher = MicroBatcher(pipeline, max_batch_size=100,
+                           max_latency_seconds=30.0)
+    futures = batcher.submit_many([_tagged("x"), _tagged("y")])
+    batcher.close(wait=True)
+    assert [f.result(timeout=0) for f in futures] == ["ok:x", "ok:y"]
+    with pytest.raises(RuntimeError):
+        batcher.submit(_tagged("late"))
+    batcher.close()  # idempotent
+
+
+def test_batcher_result_count_mismatch_fails_futures():
+    class ShortPipeline(StubPipeline):
+        def detect_batch(self, audios):
+            result = super().detect_batch(audios)
+            return type(result)(results=result.results[:-1],
+                                features=result.features,
+                                predictions=result.predictions,
+                                stage_seconds=result.stage_seconds)
+
+    with MicroBatcher(ShortPipeline(), max_batch_size=2,
+                      max_latency_seconds=0.0) as batcher:
+        future = batcher.submit(_tagged("lost"))
+        with pytest.raises(RuntimeError, match="returned 0 results"):
+            future.result(timeout=5)
+
+
+def test_batcher_survives_raising_metrics_observer():
+    class BrokenMetrics(ServingMetrics):
+        def observe_queue_wait(self, seconds):
+            raise RuntimeError("broken observer")
+
+    pipeline = StubPipeline()
+    with MicroBatcher(pipeline, max_batch_size=1, max_latency_seconds=0.0,
+                      metrics=BrokenMetrics()) as batcher:
+        first = batcher.submit(_tagged("a"))
+        with pytest.raises(RuntimeError, match="broken observer"):
+            first.result(timeout=5)
+        # The scheduler thread survived and still serves later requests
+        # (they fail the same way, but their futures resolve).
+        second = batcher.submit(_tagged("b"))
+        with pytest.raises(RuntimeError, match="broken observer"):
+            second.result(timeout=5)
+
+
+def test_batcher_validation():
+    with pytest.raises(ValueError):
+        MicroBatcher(StubPipeline(), max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(StubPipeline(), max_latency_seconds=-1)
+
+
+def test_batcher_scores_bit_identical_to_sequential(detector, clips):
+    """Acceptance: micro-batched == sequential pipeline, bit for bit."""
+    pipeline = DetectionPipeline(detector)
+    sequential = [pipeline.detect_batch([clip]).results[0] for clip in clips]
+    with MicroBatcher(pipeline, max_batch_size=len(clips),
+                      max_latency_seconds=0.2) as batcher:
+        batched = batcher.detect_many(clips)
+    for a, b in zip(sequential, batched):
+        assert np.array_equal(a.scores, b.scores)
+        assert a.is_adversarial == b.is_adversarial
+        assert a.target_transcription == b.target_transcription
+
+
+def test_batcher_concurrent_submitters(detector, clips):
+    pipeline = DetectionPipeline(detector)
+    results = {}
+
+    def client(i, clip):
+        with_batcher = batcher.detect(clip)
+        results[i] = with_batcher
+
+    with MicroBatcher(pipeline, max_batch_size=4,
+                      max_latency_seconds=0.05) as batcher:
+        threads = [threading.Thread(target=client, args=(i, clip))
+                   for i, clip in enumerate(clips * 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert len(results) == len(clips) * 2
+    for i, clip in enumerate(clips * 2):
+        direct = detector.detect(clip)
+        assert results[i].is_adversarial == direct.is_adversarial
+        assert np.allclose(results[i].scores, direct.scores)
+
+
+# ----------------------------------------------------------------- metrics
+
+
+def test_metrics_observe_pipeline_batches(detector, clips):
+    metrics = ServingMetrics()
+    pipeline = DetectionPipeline(detector, observer=metrics.observe_batch)
+    pipeline.detect_batch(clips)
+    pipeline.detect_batch(clips[:1])
+    snap = metrics.snapshot()
+    assert snap["requests"] == len(clips) + 1
+    assert snap["batches"] == 2
+    assert snap["stages"]["total"]["clips"] == len(clips) + 1
+    assert snap["stages"]["recognition"]["seconds"] > 0
+    assert "throughput_clips_per_s" in snap["stages"]["total"]
+    assert metrics.format_table()  # renders without error
+
+
+def test_metrics_latency_percentiles():
+    metrics = ServingMetrics()
+    for value in (0.010, 0.020, 0.030, 0.100):
+        metrics.observe_latency(value)
+    metrics.observe_queue_wait(0.005)
+    snap = metrics.snapshot()
+    assert snap["latency_seconds"]["max"] == pytest.approx(0.100)
+    assert 0.010 <= snap["latency_seconds"]["p50"] <= 0.030
+    assert snap["queue_wait_seconds"]["p50"] == pytest.approx(0.005)
+
+
+def test_batcher_records_metrics(detector, clips):
+    metrics = ServingMetrics()
+    pipeline = DetectionPipeline(detector, observer=metrics.observe_batch)
+    with MicroBatcher(pipeline, max_batch_size=len(clips),
+                      max_latency_seconds=0.05, metrics=metrics) as batcher:
+        batcher.detect_many(clips)
+    snap = metrics.snapshot()
+    assert snap["requests"] == len(clips)
+    assert snap["latency_seconds"]["max"] > 0
