@@ -1,0 +1,19 @@
+"""Benchmark E-TE: transform-ensemble vs multi-ASR vs combined detection."""
+
+from conftest import report_table
+
+from repro.experiments.transform_ensemble import run_transform_ensemble_comparison
+
+
+def test_transform_ensemble_comparison(benchmark, scale, bundle):
+    del bundle  # fixture warms the on-disk audio cache the study reads
+    table = benchmark(run_transform_ensemble_comparison, scale)
+    report_table(table)
+    assert [row["system"] for row in table.rows] == ["transform", "multi-asr",
+                                                     "combined"]
+    for row in table.rows:
+        for key in ("accuracy", "fpr", "fnr"):
+            assert 0.0 <= row[key] <= 1.0
+    # The combined suite has every version the other two systems have.
+    assert table.rows[2]["n_versions"] == (table.rows[0]["n_versions"]
+                                           + table.rows[1]["n_versions"])

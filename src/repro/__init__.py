@@ -13,6 +13,8 @@ from repro.attacks.whitebox import WhiteBoxCarliniAttack
 from repro.audio.waveform import Waveform
 from repro.core.bootstrap import default_detector
 from repro.core.detector import DetectionResult, MVPEarsDetector
+from repro.defenses.ensemble import TransformedASR, TransformEnsembleDetector
+from repro.defenses.transforms import Transform, default_transform_suite, parse_transforms
 from repro.pipeline.cache import TranscriptionCache
 from repro.pipeline.detection import BatchDetectionResult, DetectionPipeline
 from repro.pipeline.engine import TranscriptionEngine
@@ -35,6 +37,11 @@ __all__ = [
     "default_detector",
     "DetectionResult",
     "MVPEarsDetector",
+    "Transform",
+    "TransformedASR",
+    "TransformEnsembleDetector",
+    "default_transform_suite",
+    "parse_transforms",
     "TranscriptionCache",
     "BatchDetectionResult",
     "DetectionPipeline",

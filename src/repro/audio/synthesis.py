@@ -21,6 +21,7 @@ others'.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -58,7 +59,7 @@ class SpeechSynthesizer:
                  lexicon: Lexicon | None = None, seed: int = 0):
         self.sample_rate = sample_rate
         self.lexicon = lexicon or Lexicon()
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
 
     # ------------------------------------------------------------------ API
     def synthesize(self, text: str, speaker: SpeakerProfile | None = None,
@@ -70,9 +71,13 @@ class SpeechSynthesizer:
             speaker: speaker characteristics; a random speaker is drawn when
                 omitted.
             rng: random generator controlling the speaker draw and the
-                low-level jitter; defaults to the synthesiser's own stream.
+                low-level jitter.  When omitted, a generator is derived from
+                the synthesiser seed and the text, so a given sentence always
+                renders identically regardless of how many utterances were
+                synthesised before it (call-order independence).
         """
-        rng = rng or self._rng
+        if rng is None:
+            rng = np.random.default_rng((self._seed, zlib.crc32(text.encode())))
         speaker = speaker or SpeakerProfile.random(rng)
         phonemes = self.lexicon.pronounce_sentence(text)
         segments = [self._render_phoneme(p, speaker, rng) for p in phonemes]

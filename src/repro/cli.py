@@ -11,7 +11,9 @@ full option list.)  ``screen`` and ``stream`` build the paper's default
 DS0+{DS1, GCS, AT} detector via
 :func:`repro.core.bootstrap.default_detector`, fitted on the scored
 dataset of ``--scale`` (default ``tiny``; the first run at a scale
-generates and disk-caches that dataset).  ``bench`` synthesises a
+generates and disk-caches that dataset).  ``--defense transform``
+replaces the auxiliary ASRs with input transformations of the target
+model (``--defense combined`` uses both; see docs/DEFENSES.md).  ``bench`` synthesises a
 workload and drives it through the sequential detector, the batched
 pipeline and the micro-batcher, printing the per-stage
 throughput/latency counters from
@@ -68,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: CPU count; 0 = sequential)")
         sub.add_argument("--classifier", default="SVM",
                          help="classifier registry name (default: SVM)")
+        sub.add_argument("--defense", default="multi-asr",
+                         choices=("multi-asr", "transform", "combined"),
+                         help="auxiliary-version kind: diverse ASR models "
+                              "(multi-asr, the paper's system), input "
+                              "transformations of the target model "
+                              "(transform), or both (combined)")
+        sub.add_argument("--transforms", default=None, metavar="SPECS",
+                         help="comma-separated transform specs for the "
+                              "transform/combined defenses, e.g. "
+                              "'quantize:8,lowpass:3000' (default: the "
+                              "standard five-transform suite)")
         sub.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of text")
 
@@ -110,9 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_detector(args: argparse.Namespace):
     from repro.core.bootstrap import default_detector
 
+    transforms = None
+    if getattr(args, "transforms", None):
+        from repro.defenses.transforms import parse_transforms
+
+        if args.defense == "multi-asr":
+            raise CliError("--transforms requires --defense transform "
+                           "or --defense combined")
+        try:
+            transforms = parse_transforms(args.transforms)
+        except ValueError as exc:
+            raise CliError(str(exc)) from exc
     try:
         return default_detector(classifier=args.classifier, scale=args.scale,
-                                workers=args.workers)
+                                workers=args.workers, defense=args.defense,
+                                transforms=transforms)
     except KeyError as exc:
         # Unknown registry name (e.g. a mistyped --classifier).
         raise CliError(str(exc)) from exc

@@ -4,12 +4,19 @@ Every consumer that just wants "the detector from the paper, ready to
 screen audio" — the CLI, the examples, a notebook — repeats the same
 four steps: build the target ASR, build the auxiliaries, load the scored
 dataset for a scale preset, fit the classifier on its score vectors.
-:func:`default_detector` bundles them.
+:func:`default_detector` bundles them, for all three defense modes:
 
-The scored dataset is disk-cached under ``.repro_cache/`` (see
-:mod:`repro.datasets.scores`), so after the first call at a given scale
-this is cheap: the ASR simulators come from the registry cache and the
-classifier fits on a few hundred score vectors.
+* ``multi-asr`` — the paper's system: diverse auxiliary ASR models,
+  classifier fitted on the pre-computed scored dataset.
+* ``transform`` — a :class:`~repro.defenses.ensemble.TransformEnsembleDetector`
+  whose auxiliaries are transformed views of the target model, fitted on
+  fresh scores from the audio bundle.
+* ``combined`` — both auxiliary kinds in one suite.
+
+The scored dataset and the audio bundle are disk-cached under
+``.repro_cache/`` (see :mod:`repro.datasets.scores`), so after the first
+call at a given scale this is cheap: the ASR simulators come from the
+registry cache and the classifier fits on a few hundred score vectors.
 """
 
 from __future__ import annotations
@@ -19,19 +26,25 @@ from repro.core.detector import MVPEarsDetector
 #: Auxiliary suite of the paper's headline system DS0+{DS1, GCS, AT}.
 DEFAULT_AUXILIARIES: tuple[str, ...] = ("DS1", "GCS", "AT")
 
+#: The defense modes :func:`default_detector` can build.
+DEFENSE_MODES: tuple[str, ...] = ("multi-asr", "transform", "combined")
+
 
 def default_detector(target: str = "DS0",
                      auxiliaries: tuple[str, ...] = DEFAULT_AUXILIARIES,
                      classifier: str = "SVM",
                      scale: str | None = None,
                      workers: int | None = None,
-                     cache=True) -> MVPEarsDetector:
-    """Build and fit the paper's default detection system.
+                     cache=True,
+                     defense: str = "multi-asr",
+                     transforms=None) -> MVPEarsDetector:
+    """Build and fit a default detection system.
 
     Args:
         target: target ASR short name (the model under protection).
         auxiliaries: auxiliary short names; must be drawn from the scored
             dataset's auxiliary order (``DS1``, ``GCS``, ``AT``).
+            Ignored by ``defense="transform"``.
         classifier: classifier registry name (default: the paper's SVM).
         scale: scored-dataset scale preset used for training
             (``tiny``/``small``/``medium``/``paper``; ``None`` reads
@@ -39,21 +52,47 @@ def default_detector(target: str = "DS0",
         workers: transcription worker-pool size (``None``: CPU count,
             ``0``: the sequential path).
         cache: transcription cache policy, passed through to the engine.
+        defense: ``multi-asr`` (the paper's system), ``transform``
+            (transformation ensemble only) or ``combined`` (both).
+        transforms: transformation ensemble for the ``transform`` and
+            ``combined`` modes (default:
+            :func:`~repro.defenses.transforms.default_transform_suite`).
 
     Returns:
-        A fitted :class:`~repro.core.detector.MVPEarsDetector`.
+        A fitted :class:`~repro.core.detector.MVPEarsDetector` (a
+        :class:`~repro.defenses.ensemble.TransformEnsembleDetector` for
+        the transform-based modes).
     """
+    if defense not in DEFENSE_MODES:
+        raise KeyError(
+            f"unknown defense mode {defense!r}; available: {list(DEFENSE_MODES)}")
     # Imported lazily: repro.datasets itself builds on repro.core.
     from repro.asr.registry import build_asr
     from repro.datasets.scores import load_scored_dataset
 
-    detector = MVPEarsDetector(
+    if defense == "multi-asr":
+        detector = MVPEarsDetector(
+            build_asr(target),
+            [build_asr(name) for name in auxiliaries],
+            classifier=classifier,
+            workers=workers,
+            cache=cache,
+        )
+        dataset = load_scored_dataset(scale)
+        features, labels = dataset.features_for(tuple(auxiliaries))
+        return detector.fit_features(features, labels)
+
+    from repro.datasets.builder import load_standard_bundle
+    from repro.defenses.ensemble import TransformEnsembleDetector
+
+    asr_auxiliaries = ([build_asr(name) for name in auxiliaries]
+                       if defense == "combined" else [])
+    detector = TransformEnsembleDetector(
         build_asr(target),
-        [build_asr(name) for name in auxiliaries],
+        transforms=transforms,
+        asr_auxiliaries=asr_auxiliaries,
         classifier=classifier,
         workers=workers,
         cache=cache,
     )
-    dataset = load_scored_dataset(scale)
-    features, labels = dataset.features_for(tuple(auxiliaries))
-    return detector.fit_features(features, labels)
+    return detector.fit_bundle(load_standard_bundle(scale))

@@ -1,0 +1,48 @@
+"""Transformation-based defenses (WaveGuard-style auxiliary versions).
+
+Public surface:
+
+* :mod:`repro.defenses.transforms` — the composable :class:`Transform`
+  API (quantisation, down/up-sampling, filtering, noise flooding,
+  clipping), spec parsing and the default ensemble.
+* :mod:`repro.defenses.ensemble` — :class:`TransformedASR` (a transform
+  wrapped as an ASR "version") and :class:`TransformEnsembleDetector`
+  (drop-in :class:`~repro.core.detector.MVPEarsDetector` whose
+  auxiliaries are transformed views of the target model).
+"""
+
+from repro.defenses.ensemble import (
+    TransformedASR,
+    TransformEnsembleDetector,
+    transformed_suite,
+)
+from repro.defenses.transforms import (
+    AmplitudeClip,
+    BitDepthQuantize,
+    Compose,
+    DownUpsample,
+    LowPassFilter,
+    MedianFilter,
+    NoiseFlood,
+    Transform,
+    default_transform_suite,
+    parse_transform,
+    parse_transforms,
+)
+
+__all__ = [
+    "AmplitudeClip",
+    "BitDepthQuantize",
+    "Compose",
+    "DownUpsample",
+    "LowPassFilter",
+    "MedianFilter",
+    "NoiseFlood",
+    "Transform",
+    "TransformEnsembleDetector",
+    "TransformedASR",
+    "default_transform_suite",
+    "parse_transform",
+    "parse_transforms",
+    "transformed_suite",
+]

@@ -1,0 +1,276 @@
+"""Composable audio input transformations.
+
+WaveGuard (PAPERS.md) observes that cheap, lossy input transformations —
+quantisation, down/up-sampling, filtering, noise flooding — preserve what
+a human (and a robust ASR) hears while disrupting the carefully balanced
+perturbation an adversarial example rides on.  Each transformation
+therefore acts like an independent "version" of the target ASR: run the
+*same* model over a transformed variant and a benign clip transcribes to
+(almost) the same text, while an AE's hidden command falls apart.
+
+Every transform here is a pure, deterministic function of the input
+samples: the same audio always maps to the same transformed audio, no
+matter when or where it is applied.  :class:`NoiseFlood` keeps that
+property by seeding its generator from a content hash of the samples.
+Determinism is what lets the transcription cache treat a transformed
+variant as ordinary content, and what makes sequential, batched and
+streamed detection paths produce bit-identical scores.
+
+Transforms are built directly (``BitDepthQuantize(bits=8)``), parsed
+from compact specs (``parse_transform("quantize:8")``), or taken from
+:func:`default_transform_suite` — the ensemble used by the CLI's
+``--defense transform`` mode.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.audio.waveform import Waveform
+
+
+class Transform(ABC):
+    """A deterministic audio-to-audio transformation.
+
+    Subclasses implement :meth:`apply_samples` on raw sample arrays; the
+    public :meth:`__call__` operates on :class:`Waveform` values,
+    preserving rate/text/label and recording the transform name in the
+    metadata.  ``name`` must encode every parameter, because it becomes
+    part of transcription cache keys (two differently-configured
+    transforms must never share a cache entry).
+    """
+
+    #: Unique, parameter-bearing identifier, e.g. ``"quantize-8"``.
+    name: str = "transform"
+
+    @abstractmethod
+    def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        """Transform raw samples (implemented by subclasses)."""
+
+    def __call__(self, audio: Waveform) -> Waveform:
+        if not isinstance(audio, Waveform):
+            raise TypeError("transform expects a Waveform")
+        transformed = self.apply_samples(
+            np.asarray(audio.samples, dtype=np.float64), audio.sample_rate)
+        return audio.with_samples(np.clip(transformed, -1.0, 1.0),
+                                  transform=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class BitDepthQuantize(Transform):
+    """Quantise samples to ``bits`` of depth and dequantise back.
+
+    Adversarial perturbations typically live in the least significant
+    bits of the signal; rounding to a coarse grid erases them while
+    leaving speech intelligible down to ~6 bits.
+    """
+
+    def __init__(self, bits: int = 8):
+        if not 2 <= bits <= 16:
+            raise ValueError("bits must be in [2, 16]")
+        self.bits = bits
+        self.name = f"quantize-{bits}"
+
+    def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        levels = float(2 ** (self.bits - 1))
+        return np.round(samples * levels) / levels
+
+
+class DownUpsample(Transform):
+    """Decimate by ``factor`` and linearly interpolate back to full rate.
+
+    The round trip discards energy above ``sample_rate / (2 * factor)``
+    and resamples the perturbation onto a coarser time grid, both of
+    which an AE's fragile alignment rarely survives.  Output length and
+    sample rate equal the input's.
+    """
+
+    def __init__(self, factor: int = 2):
+        if factor < 2:
+            raise ValueError("factor must be >= 2")
+        self.factor = factor
+        self.name = f"resample-{factor}"
+
+    def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        n = samples.shape[0]
+        if n < 2:
+            return samples.copy()
+        decimated_t = np.arange(0, n, self.factor, dtype=np.float64)
+        full_t = np.arange(n, dtype=np.float64)
+        return np.interp(full_t, decimated_t, samples[::self.factor])
+
+
+class LowPassFilter(Transform):
+    """Zero every spectral component above ``cutoff_hz`` (FFT brick wall)."""
+
+    def __init__(self, cutoff_hz: float = 3000.0):
+        if cutoff_hz <= 0:
+            raise ValueError("cutoff_hz must be positive")
+        self.cutoff_hz = float(cutoff_hz)
+        self.name = f"lowpass-{self.cutoff_hz:g}"
+
+    def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        n = samples.shape[0]
+        if n == 0:
+            return samples.copy()
+        spectrum = np.fft.rfft(samples)
+        freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+        spectrum[freqs > self.cutoff_hz] = 0.0
+        return np.fft.irfft(spectrum, n=n)
+
+
+class MedianFilter(Transform):
+    """Sliding-window median smoothing (odd ``width``, edges reflected).
+
+    The classic impulsive-noise remover: isolated adversarial spikes are
+    replaced by the local median while broadband speech structure
+    survives.
+    """
+
+    def __init__(self, width: int = 5):
+        if width < 3 or width % 2 == 0:
+            raise ValueError("width must be an odd integer >= 3")
+        self.width = width
+        self.name = f"median-{width}"
+
+    def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        n = samples.shape[0]
+        if n == 0:
+            return samples.copy()
+        half = self.width // 2
+        padded = np.pad(samples, half, mode="reflect") if n > half else \
+            np.pad(samples, half, mode="edge")
+        windows = np.lib.stride_tricks.sliding_window_view(padded, self.width)
+        return np.median(windows, axis=1)
+
+
+class NoiseFlood(Transform):
+    """Add white noise at a fixed SNR, seeded by the audio content.
+
+    Flooding drowns perturbations that sit near the noise floor.  The
+    generator is seeded from a content hash of the samples (plus the
+    configured ``seed``), so the same clip always receives the same
+    noise — keeping the transform cacheable and path-independent.
+    """
+
+    def __init__(self, snr_db: float = 20.0, seed: int = 0):
+        self.snr_db = float(snr_db)
+        self.seed = int(seed)
+        self.name = (f"noise-{snr_db:g}" if self.seed == 0
+                     else f"noise-{snr_db:g}-s{self.seed}")
+
+    def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        n = samples.shape[0]
+        if n == 0:
+            return samples.copy()
+        rms = float(np.sqrt(np.mean(samples ** 2)))
+        if rms == 0.0:
+            return samples.copy()
+        content = zlib.crc32(np.ascontiguousarray(samples).tobytes())
+        rng = np.random.default_rng((self.seed, content))
+        noise_rms = rms / (10.0 ** (self.snr_db / 20.0))
+        return samples + noise_rms * rng.standard_normal(n)
+
+
+class AmplitudeClip(Transform):
+    """Clip samples to ``fraction`` of the clip's own peak amplitude.
+
+    Hard-limiting the loudest excursions flattens exactly the regions an
+    attack exploits to hide high-energy perturbation bursts.
+    """
+
+    def __init__(self, fraction: float = 0.5):
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        self.fraction = fraction
+        self.name = f"clip-{fraction:g}"
+
+    def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        peak = float(np.max(np.abs(samples))) if samples.size else 0.0
+        if peak == 0.0:
+            return samples.copy()
+        limit = self.fraction * peak
+        return np.clip(samples, -limit, limit)
+
+
+class Compose(Transform):
+    """Apply several transforms in sequence as one unit."""
+
+    def __init__(self, transforms: list[Transform]):
+        if not transforms:
+            raise ValueError("Compose needs at least one transform")
+        self.transforms = list(transforms)
+        self.name = "+".join(t.name for t in self.transforms)
+
+    def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
+        for transform in self.transforms:
+            samples = transform.apply_samples(samples, sample_rate)
+        return samples
+
+
+#: Transform spec keywords accepted by :func:`parse_transform`, mapping
+#: keyword -> (factory, argument parser).
+TRANSFORM_SPECS: dict = {
+    "quantize": (BitDepthQuantize, int),
+    "resample": (DownUpsample, int),
+    "lowpass": (LowPassFilter, float),
+    "median": (MedianFilter, int),
+    "noise": (NoiseFlood, float),
+    "clip": (AmplitudeClip, float),
+}
+
+
+def parse_transform(spec: str) -> Transform:
+    """Build one transform from a compact spec like ``"quantize:8"``.
+
+    The part before the colon selects the transform kind (see
+    :data:`TRANSFORM_SPECS`); the optional part after it is the primary
+    parameter.  ``"lowpass"`` alone uses the default cutoff.  Chains are
+    composed with ``+``: ``"quantize:8+lowpass:3000"``.
+    """
+    spec = spec.strip()
+    if "+" in spec:
+        return Compose([parse_transform(part) for part in spec.split("+")])
+    kind, _, argument = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind not in TRANSFORM_SPECS:
+        raise ValueError(
+            f"unknown transform {kind!r}; available: {sorted(TRANSFORM_SPECS)}")
+    factory, parse_arg = TRANSFORM_SPECS[kind]
+    if not argument:
+        return factory()
+    try:
+        return factory(parse_arg(argument))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad transform spec {spec!r}: {exc}") from exc
+
+
+def parse_transforms(specs: str) -> list[Transform]:
+    """Parse a comma-separated list of transform specs."""
+    parts = [part for part in (p.strip() for p in specs.split(",")) if part]
+    if not parts:
+        raise ValueError("no transform specs given")
+    return [parse_transform(part) for part in parts]
+
+
+def default_transform_suite() -> list[Transform]:
+    """The standard transformation ensemble.
+
+    Five heterogeneous views of the input: coarse amplitude grid, coarse
+    time grid, spectral truncation, temporal smoothing and noise
+    flooding.  Heterogeneity matters for the same reason ASR diversity
+    does in the paper — an AE that survives one transform rarely
+    survives the others.
+    """
+    return [
+        BitDepthQuantize(8),
+        DownUpsample(2),
+        LowPassFilter(3000.0),
+        MedianFilter(5),
+        NoiseFlood(20.0),
+    ]

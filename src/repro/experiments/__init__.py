@@ -31,6 +31,7 @@ from repro.experiments.mae_aes import (
 from repro.experiments.overhead import run_overhead_measurement
 from repro.experiments.nontargeted import run_nontargeted_detection
 from repro.experiments.transferability import run_transferability_study
+from repro.experiments.transform_ensemble import run_transform_ensemble_comparison
 from repro.experiments.ablations import (
     run_kaldi_auxiliary_ablation,
     run_baseline_comparison,
@@ -55,6 +56,7 @@ __all__ = [
     "run_overhead_measurement",
     "run_nontargeted_detection",
     "run_transferability_study",
+    "run_transform_ensemble_comparison",
     "run_kaldi_auxiliary_ablation",
     "run_baseline_comparison",
 ]

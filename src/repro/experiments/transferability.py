@@ -47,31 +47,46 @@ def run_transferability_study(bundle: DatasetBundle, max_aes: int = 16,
     return table
 
 
-def run_recursive_attack_probe(seed: int = 37) -> ExperimentTable:
-    """Two-iteration recursive attack: does chaining attacks give transfer?"""
+def run_recursive_attack_probe(seed: int = 37,
+                               n_probes: int = 5) -> ExperimentTable:
+    """Two-iteration recursive attacks: does chaining attacks give transfer?
+
+    ``n_probes`` independent host/command draws are attacked; the detail
+    rows illustrate the first probe, and the final ``transferable?`` row
+    reports whether a *majority* of probes produced a doubly-effective
+    AE.  A single draw occasionally transfers by chance (the second
+    iteration does not always destroy the first's perturbation), which
+    is exactly why the paper's claim is about the typical case.
+    """
+    if n_probes < 1:
+        raise ValueError("n_probes must be >= 1")
     rng = np.random.default_rng(seed)
     synthesizer = SpeechSynthesizer(lexicon=get_shared_lexicon(), seed=seed)
     ds0 = build_asr("DS0")
     ds1 = build_asr("DS1")
     attack = RecursiveTransferAttack(WhiteBoxCarliniAttack(ds1),
                                      WhiteBoxCarliniAttack(ds0))
-    host_text = librispeech_like_corpus().sample_one(rng)
-    command = attack_command_corpus().sample_one(rng)
-    host = synthesizer.synthesize(host_text)
-    result = attack.run(host, command, probe_asrs={"DS0": ds0, "DS1": ds1})
-
     table = ExperimentTable(
         "Recursive attack", "Two-iteration recursive attack (CommanderSong style)")
-    table.add_row(stage="first iteration (targets DS1)",
-                  success=result.first.success,
-                  transcription=result.first.transcription)
-    table.add_row(stage="second iteration (targets DS0)",
-                  success=result.second.success,
-                  transcription=result.second.transcription)
-    for name, fooled in result.fools.items():
-        table.add_row(stage=f"final AE on {name}", success=fooled,
-                      transcription=result.transcriptions[name])
-    table.add_row(stage="transferable?", success=result.transferable, transcription="")
+    transfers = 0
+    for probe in range(n_probes):
+        host_text = librispeech_like_corpus().sample_one(rng)
+        command = attack_command_corpus().sample_one(rng)
+        host = synthesizer.synthesize(host_text)
+        result = attack.run(host, command, probe_asrs={"DS0": ds0, "DS1": ds1})
+        transfers += bool(result.transferable)
+        if probe == 0:
+            table.add_row(stage="first iteration (targets DS1)",
+                          success=result.first.success,
+                          transcription=result.first.transcription)
+            table.add_row(stage="second iteration (targets DS0)",
+                          success=result.second.success,
+                          transcription=result.second.transcription)
+            for name, fooled in result.fools.items():
+                table.add_row(stage=f"final AE on {name}", success=fooled,
+                              transcription=result.transcriptions[name])
+    table.add_row(stage="transferable?", success=transfers > n_probes // 2,
+                  transcription=f"{transfers}/{n_probes} probes transferred")
     return table
 
 

@@ -1,0 +1,109 @@
+"""Transform-ensemble vs multi-ASR vs combined detection.
+
+The study behind ``docs/DEFENSES.md``: build the three default defense
+systems — transformation ensemble only, the paper's multi-ASR suite, and
+both kinds of auxiliary versions combined — extract similarity-score
+features for the same benign + AE audio, and report held-out detection
+accuracy / FPR / FNR per system in the paper's table format.
+
+All three systems share one target model and one process-wide
+transcription cache, so the target's transcriptions (and the real
+auxiliaries' transcriptions, reused from the scored-dataset build) are
+decoded once across the whole comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asr.registry import build_asr
+from repro.config import DEFAULT_SEED, ReproScale
+from repro.core.bootstrap import DEFAULT_AUXILIARIES
+from repro.core.detector import MVPEarsDetector
+from repro.datasets.builder import load_standard_bundle
+from repro.defenses.ensemble import TransformEnsembleDetector
+from repro.defenses.transforms import Transform
+from repro.experiments.runner import ExperimentTable
+from repro.ml.model_selection import train_test_split
+
+
+def _defense_systems(classifier: str,
+                     transforms: list[Transform] | None,
+                     workers: int | None) -> dict[str, MVPEarsDetector]:
+    target = build_asr("DS0")
+    asr_auxiliaries = [build_asr(name) for name in DEFAULT_AUXILIARIES]
+    return {
+        "transform": TransformEnsembleDetector(
+            target, transforms=transforms, classifier=classifier,
+            workers=workers),
+        "multi-asr": MVPEarsDetector(
+            target, asr_auxiliaries, classifier=classifier, workers=workers),
+        "combined": TransformEnsembleDetector(
+            target, transforms=transforms, asr_auxiliaries=asr_auxiliaries,
+            classifier=classifier, workers=workers),
+    }
+
+
+def run_transform_ensemble_comparison(
+        scale: ReproScale | str | None = None,
+        classifier: str = "SVM",
+        transforms: list[Transform] | None = None,
+        test_fraction: float = 0.25,
+        seed: int = DEFAULT_SEED,
+        workers: int | None = None) -> ExperimentTable:
+    """Accuracy / FPR / FNR of the three defense modes on one dataset.
+
+    Args:
+        scale: dataset scale preset (``None`` reads ``REPRO_SCALE``).
+        classifier: classifier registry name used by every system.
+        transforms: transformation ensemble (default: the standard
+            suite) for the transform and combined systems.
+        test_fraction: held-out fraction for the evaluation split.
+        seed: split seed (the same split is used for every system, so
+            the three rows are directly comparable).
+        workers: transcription worker-pool size.
+    """
+    bundle = load_standard_bundle(scale)
+    samples = bundle.all_samples
+    audios = [sample.waveform for sample in samples]
+    labels = np.array([sample.label for sample in samples], dtype=int)
+
+    table = ExperimentTable(
+        "Transform ensemble",
+        "Detection accuracy of transform vs multi-ASR vs combined auxiliaries")
+    for name, detector in _defense_systems(classifier, transforms,
+                                           workers).items():
+        features = detector.extract_features(audios)
+        train_x, test_x, train_y, test_y = train_test_split(
+            features, labels, test_fraction=test_fraction, seed=seed)
+        detector.fit_features(train_x, train_y)
+        report = detector.evaluate_features(test_x, test_y)
+        table.add_row(
+            system=name,
+            auxiliaries=detector.system_name,
+            n_versions=detector.n_features,
+            accuracy=report.accuracy,
+            fpr=report.fpr,
+            fnr=report.fnr,
+        )
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI shim
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Transform-ensemble vs multi-ASR vs combined detection")
+    parser.add_argument("--scale", default=None,
+                        choices=("tiny", "small", "medium", "paper"))
+    parser.add_argument("--classifier", default="SVM")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+    table = run_transform_ensemble_comparison(
+        scale=args.scale, classifier=args.classifier, seed=args.seed)
+    print(table.to_markdown())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -11,6 +11,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+# NumPy 2.0 renamed ``np.trapz`` to ``np.trapezoid``; support both majors.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
 
 def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     y_true = np.asarray(y_true).astype(int).ravel()
@@ -128,4 +131,4 @@ def auc(fpr: np.ndarray, tpr: np.ndarray) -> float:
     if fpr.shape != tpr.shape or fpr.ndim != 1:
         raise ValueError("fpr and tpr must be 1-D arrays of equal length")
     order = np.argsort(fpr, kind="stable")
-    return float(np.trapz(tpr[order], fpr[order]))
+    return float(_trapezoid(tpr[order], fpr[order]))

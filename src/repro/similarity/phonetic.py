@@ -96,8 +96,9 @@ def metaphone(word: str) -> str:
                 result.append("T")
         elif letter == "g":
             if nxt == "h":
-                result.append("K")
-                i += 1
+                if prev not in _VOWELS:
+                    result.append("K")  # word-initial/cluster GH as in "ghost"
+                i += 1  # silent after a vowel, as in "night" / "weigh"
             elif nxt in {"i", "e", "y"}:
                 result.append("J")
             elif nxt == "n":

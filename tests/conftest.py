@@ -52,6 +52,14 @@ def rng():
 
 
 @pytest.fixture(scope="session")
+def samples():
+    """A deterministic short audio sample array in [-1, 1]."""
+    t = np.linspace(0.0, 0.25, 4000, endpoint=False)
+    return (0.6 * np.sin(2 * np.pi * 220.0 * t)
+            + 0.3 * np.sin(2 * np.pi * 557.0 * t)).astype(np.float64)
+
+
+@pytest.fixture(scope="session")
 def tiny_dataset():
     """The tiny scored dataset (generated once, cached on disk)."""
     from repro.datasets.scores import load_scored_dataset

@@ -63,7 +63,7 @@ def test_normalized_peak():
 
 
 @settings(max_examples=25)
-@given(st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=400))
+@given(samples=st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=400))
 def test_wav_roundtrip(samples, tmp_path_factory):
     path = str(tmp_path_factory.mktemp("wav") / "clip.wav")
     original = _wave(samples)

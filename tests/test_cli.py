@@ -100,6 +100,27 @@ def test_bench_command_json(capsys):
     assert payload["microbatch"]["batches"] >= 1
 
 
+def test_screen_transform_defense(wav_paths, capsys):
+    code = main(["screen", wav_paths[0], "--scale", "tiny",
+                 "--defense", "transform",
+                 "--transforms", "quantize:6,lowpass:2500", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code in (0, 1)
+    assert len(payload["results"][0]["scores"]) == 2
+
+
+def test_transforms_require_transform_defense(wav_paths, capsys):
+    assert main(["screen", wav_paths[0], "--scale", "tiny",
+                 "--transforms", "quantize:6"]) == 2
+    assert "--defense" in capsys.readouterr().err
+
+
+def test_bad_transform_spec_is_a_user_error(wav_paths, capsys):
+    assert main(["screen", wav_paths[0], "--scale", "tiny",
+                 "--defense", "transform", "--transforms", "reverb:3"]) == 2
+    assert "unknown transform" in capsys.readouterr().err
+
+
 def test_missing_wav_is_a_user_error(capsys):
     assert main(["screen", "/nonexistent/clip.wav"]) == 2
     assert "error" in capsys.readouterr().err
