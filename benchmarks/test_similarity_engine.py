@@ -1,0 +1,35 @@
+"""Benchmark E-SIM: the similarity scoring engine's perf trajectory.
+
+Runs the same measurement as ``python -m repro bench-similarity`` (which
+writes ``BENCH_similarity.json`` — CI uploads it as an artifact) and
+asserts the engine's two perf contracts:
+
+* the fast backend is no slower than the reference backend on the cold
+  batch path (the ``detect_batch`` shape), and
+* a warm :class:`~repro.similarity.score_cache.PairScoreCache` delivers
+  at least 5x reference throughput on the streaming-window workload
+  (each pair recurring ``overlap`` times, the shape overlapping stream
+  windows produce).
+
+Parity is asserted exactly: a speedup with different scores is a defect.
+"""
+
+import json
+
+from repro.similarity.bench import run_similarity_benchmark
+
+
+def test_similarity_engine_benchmark(benchmark, tmp_path):
+    report = benchmark.pedantic(
+        run_similarity_benchmark,
+        kwargs=dict(n_pairs=300, overlap=4, repeats=3),
+        rounds=1, iterations=1)
+    out = tmp_path / "BENCH_similarity.json"
+    out.write_text(json.dumps(report, indent=2))
+    print()
+    print(json.dumps(report, indent=2))
+
+    assert report["parity_max_abs_diff"] == 0.0
+    assert report["batch"]["speedup"] >= 1.0
+    assert report["stream"]["speedup"] >= 5.0
+    assert report["stream"]["cache_hit_rate"] == 1.0

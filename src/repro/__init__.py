@@ -2,9 +2,11 @@
 
 Re-exports the stable public surface (documented in ``docs/API.md``):
 the detector and its batched pipeline, the serving layer (streaming
-detection, micro-batching, metrics), the ASR registry, the attacks, and
-the waveform value type.  Everything else lives in the subpackages and
-is considered internal (see ``docs/ARCHITECTURE.md``).
+detection, micro-batching, metrics), the similarity scoring engine
+(pluggable backends + pair-score cache, see ``docs/SCORING.md``), the
+ASR registry, the attacks, and the waveform value type.  Everything else
+lives in the subpackages and is considered internal (see
+``docs/ARCHITECTURE.md``).
 """
 
 from repro.asr.registry import build_asr, default_asr_suite
@@ -27,6 +29,13 @@ from repro.serving.batcher import MicroBatcher
 from repro.serving.chunker import StreamConfig, StreamWindow, chunk_waveform
 from repro.serving.metrics import ServingMetrics
 from repro.serving.streaming import StreamingDetector, StreamSession
+from repro.similarity.engine import (
+    SimilarityEngine,
+    get_scoring_backend,
+    register_scoring_backend,
+)
+from repro.similarity.score_cache import PairScoreCache
+from repro.similarity.scorer import SIMILARITY_METHODS, SimilarityScorer, get_scorer
 
 __all__ = [
     "build_asr",
@@ -56,4 +65,11 @@ __all__ = [
     "ServingMetrics",
     "StreamingDetector",
     "StreamSession",
+    "SimilarityEngine",
+    "get_scoring_backend",
+    "register_scoring_backend",
+    "PairScoreCache",
+    "SIMILARITY_METHODS",
+    "SimilarityScorer",
+    "get_scorer",
 ]

@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.asr.base import ASRSystem
 from repro.audio.waveform import Waveform
-from repro.similarity.scorer import SimilarityScorer, get_scorer
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.scorer import SimilarityScorer
 
 
 def smooth_and_quantize(samples: np.ndarray, kernel_size: int = 5,
@@ -31,16 +32,24 @@ def smooth_and_quantize(samples: np.ndarray, kernel_size: int = 5,
 
 
 class PreprocessingDetector:
-    """Detects AEs via transcription drift under input transformations."""
+    """Detects AEs via transcription drift under input transformations.
+
+    Scoring routes through a
+    :class:`~repro.similarity.engine.SimilarityEngine` (pass ``scoring=``
+    to share one), so repeatedly screened clips hit the pair-score cache.
+    """
 
     def __init__(self, asr: ASRSystem, threshold: float = 0.7,
                  kernel_size: int = 5, levels: int = 256,
-                 scorer: SimilarityScorer | None = None):
+                 scorer: SimilarityScorer | str | None = None,
+                 scoring: SimilarityEngine | None = None):
         self.asr = asr
         self.threshold = threshold
         self.kernel_size = kernel_size
         self.levels = levels
-        self.scorer = scorer or get_scorer()
+        self.scoring = scoring if scoring is not None else \
+            SimilarityEngine(scorer=scorer)
+        self.scorer = self.scoring.scorer
 
     def drift_score(self, audio: Waveform) -> float:
         """Similarity between original and pre-processed transcriptions."""
@@ -48,7 +57,7 @@ class PreprocessingDetector:
         processed = audio.with_samples(
             smooth_and_quantize(audio.samples, self.kernel_size, self.levels))
         processed_text = self.asr.transcribe(processed).text
-        return self.scorer.score(original_text, processed_text)
+        return self.scoring.score_pair(original_text, processed_text)
 
     def is_adversarial(self, audio: Waveform) -> bool:
         """True when pre-processing changes the transcription substantially."""

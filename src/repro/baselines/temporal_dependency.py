@@ -13,19 +13,28 @@ from __future__ import annotations
 
 from repro.asr.base import ASRSystem
 from repro.audio.waveform import Waveform
-from repro.similarity.scorer import SimilarityScorer, get_scorer
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.scorer import SimilarityScorer
 
 
 class TemporalDependencyDetector:
-    """Detects AEs by comparing whole vs spliced-half transcriptions."""
+    """Detects AEs by comparing whole vs spliced-half transcriptions.
+
+    Scoring routes through a
+    :class:`~repro.similarity.engine.SimilarityEngine` (pass ``scoring=``
+    to share one), so repeatedly screened clips hit the pair-score cache.
+    """
 
     def __init__(self, asr: ASRSystem, threshold: float = 0.7,
-                 scorer: SimilarityScorer | None = None):
+                 scorer: SimilarityScorer | str | None = None,
+                 scoring: SimilarityEngine | None = None):
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
         self.asr = asr
         self.threshold = threshold
-        self.scorer = scorer or get_scorer()
+        self.scoring = scoring if scoring is not None else \
+            SimilarityEngine(scorer=scorer)
+        self.scorer = self.scoring.scorer
 
     def consistency_score(self, audio: Waveform) -> float:
         """Similarity between the whole transcription and the spliced halves."""
@@ -35,7 +44,7 @@ class TemporalDependencyDetector:
         second = audio.with_samples(audio.samples[midpoint:])
         spliced = " ".join(part for part in (self.asr.transcribe(first).text,
                                              self.asr.transcribe(second).text) if part)
-        return self.scorer.score(whole, spliced)
+        return self.scoring.score_pair(whole, spliced)
 
     def is_adversarial(self, audio: Waveform) -> bool:
         """True when the spliced transcription diverges from the whole one."""

@@ -5,6 +5,7 @@ Exposes the whole detection stack without writing Python::
     python -m repro screen clip.wav other.wav   # batch-screen WAV clips
     python -m repro stream recording.wav        # windowed streaming verdicts
     python -m repro bench                       # serving-layer benchmark
+    python -m repro bench-similarity            # scoring-backend benchmark
 
 (Installed as the ``repro`` console script too; ``repro --help`` for the
 full option list.)  ``screen`` and ``stream`` build the paper's default
@@ -13,11 +14,15 @@ DS0+{DS1, GCS, AT} detector via
 dataset of ``--scale`` (default ``tiny``; the first run at a scale
 generates and disk-caches that dataset).  ``--defense transform``
 replaces the auxiliary ASRs with input transformations of the target
-model (``--defense combined`` uses both; see docs/DEFENSES.md).  ``bench`` synthesises a
+model (``--defense combined`` uses both; see docs/DEFENSES.md);
+``--scorer`` / ``--scoring-backend`` / ``--score-cache`` configure the
+similarity scoring engine (see docs/SCORING.md).  ``bench`` synthesises a
 workload and drives it through the sequential detector, the batched
 pipeline and the micro-batcher, printing the per-stage
 throughput/latency counters from
-:class:`repro.serving.metrics.ServingMetrics`.
+:class:`repro.serving.metrics.ServingMetrics`.  ``bench-similarity``
+times the reference vs fast scoring backends and writes the
+machine-readable report to ``BENCH_similarity.json``.
 
 Exit status: ``screen`` and ``stream`` exit 1 when anything was flagged
 adversarial (so shell scripts can gate on the verdict), 0 otherwise.
@@ -81,6 +86,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "transform/combined defenses, e.g. "
                               "'quantize:8,lowpass:3000' (default: the "
                               "standard five-transform suite)")
+        sub.add_argument("--scorer", default=None, metavar="METHOD",
+                         help="similarity method name, e.g. PE_JaroWinkler "
+                              "(default), Cosine, PE_Jaccard")
+        sub.add_argument("--scoring-backend", default=None,
+                         choices=("fast", "reference"),
+                         help="similarity kernel backend: the encode-once "
+                              "fast engine (default) or the paper-faithful "
+                              "scalar reference path (bit-identical scores)")
+        sub.add_argument("--score-cache", default="shared", metavar="POLICY",
+                         help="pair-score cache: 'shared' (default, "
+                              "process-wide), 'private', 'off', or a JSON "
+                              "file path for an on-disk store")
         sub.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of text")
 
@@ -117,7 +134,43 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0,
                        help="workload sampling seed (default: 0)")
     add_detector_options(bench)
+
+    bench_sim = commands.add_parser(
+        "bench-similarity",
+        help="benchmark reference vs fast similarity scoring backends")
+    bench_sim.add_argument("--pairs", type=int, default=300,
+                           help="distinct transcription pairs in the "
+                                "workload (default: 300)")
+    bench_sim.add_argument("--overlap", type=int, default=4,
+                           help="recurrences per pair in the streaming-"
+                                "window workload (default: 4)")
+    bench_sim.add_argument("--repeats", type=int, default=3,
+                           help="timing repetitions, best-of (default: 3)")
+    bench_sim.add_argument("--seed", type=int, default=0,
+                           help="workload sampling seed (default: 0)")
+    bench_sim.add_argument("--scorer", default=None, metavar="METHOD",
+                           help="similarity method to time "
+                                "(default: PE_JaroWinkler)")
+    bench_sim.add_argument("--output", default="BENCH_similarity.json",
+                           metavar="PATH",
+                           help="where to write the machine-readable report "
+                                "(default: BENCH_similarity.json)")
+    bench_sim.add_argument("--json", action="store_true",
+                           help="print the JSON report instead of the "
+                                "human-readable summary")
     return parser
+
+
+def _save_score_cache(detector) -> None:
+    """Persist an on-disk pair-score cache (``--score-cache PATH``).
+
+    Mirrors the transcription cache's explicit-save contract; the CLI
+    saves on behalf of the user so a second invocation with the same
+    path starts warm.
+    """
+    cache = detector.scoring.cache
+    if cache is not None and cache.path is not None:
+        cache.save()
 
 
 def _build_detector(args: argparse.Namespace):
@@ -137,9 +190,12 @@ def _build_detector(args: argparse.Namespace):
     try:
         return default_detector(classifier=args.classifier, scale=args.scale,
                                 workers=args.workers, defense=args.defense,
-                                transforms=transforms)
+                                transforms=transforms,
+                                scorer=args.scorer,
+                                scoring_backend=args.scoring_backend,
+                                score_cache=args.score_cache)
     except KeyError as exc:
-        # Unknown registry name (e.g. a mistyped --classifier).
+        # Unknown registry name (e.g. a mistyped --classifier or --scorer).
         raise CliError(str(exc)) from exc
 
 
@@ -148,8 +204,10 @@ def cmd_screen(args: argparse.Namespace) -> int:
     from repro.pipeline.detection import DetectionPipeline
 
     clips = _read_clips(args.wav)
-    pipeline = DetectionPipeline(_build_detector(args))
+    detector = _build_detector(args)
+    pipeline = DetectionPipeline(detector)
     batch = pipeline.detect_batch(clips)
+    _save_score_cache(detector)
     if args.json:
         print(json.dumps({
             "results": [
@@ -186,8 +244,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise CliError(str(exc)) from exc
     clip, = _read_clips([args.wav])
-    detector = StreamingDetector(_build_detector(args), config=config)
-    result = detector.detect_stream(clip)
+    detector = _build_detector(args)
+    streaming = StreamingDetector(detector, config=config)
+    result = streaming.detect_stream(clip)
+    _save_score_cache(detector)
     if args.json:
         print(json.dumps({
             "file": args.wav,
@@ -282,6 +342,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     pipeline.detect_batch(clips)
     report["warm_replay_seconds"] = time.perf_counter() - start
     report["metrics"] = metrics.snapshot()
+    _save_score_cache(detector)
 
     if args.json:
         print(json.dumps(report, indent=2))
@@ -309,6 +370,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------- bench-similarity
+def cmd_bench_similarity(args: argparse.Namespace) -> int:
+    from repro.similarity.bench import run_similarity_benchmark
+    from repro.similarity.scorer import DEFAULT_METHOD
+
+    if args.pairs < 1:
+        raise CliError("--pairs must be >= 1")
+    if args.overlap < 1:
+        raise CliError("--overlap must be >= 1")
+    try:
+        report = run_similarity_benchmark(
+            n_pairs=args.pairs, overlap=args.overlap, repeats=args.repeats,
+            seed=args.seed, method=args.scorer or DEFAULT_METHOD)
+    except KeyError as exc:
+        raise CliError(str(exc)) from exc
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    if report["parity_max_abs_diff"] != 0.0:
+        # The fast backend's contract is bit-identical scores; a nonzero
+        # difference is a defect, not a benchmark result.
+        raise CliError(
+            f"backend parity violation: max |reference - fast| = "
+            f"{report['parity_max_abs_diff']} (report in {args.output})")
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(f"workload: {report['n_pairs']} distinct pairs, "
+          f"overlap x{report['overlap']}, method {report['method']}, "
+          f"best of {report['repeats']}")
+    for label, shape in (("batch (cold, distinct pairs)", report["batch"]),
+                         ("stream (warm pair-score cache)", report["stream"])):
+        print(f"{label:<31} reference {shape['reference_seconds']:8.4f} s  "
+              f"fast {shape['fast_seconds']:8.4f} s  "
+              f"{shape['speedup']:6.2f}x  "
+              f"({shape['fast_pairs_per_second']:,.0f} pairs/s)")
+    print(f"parity: max |reference - fast| = 0.0 "
+          f"(report written to {args.output})")
+    return 0
+
+
 # --------------------------------------------------------------------- main
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro`` and the ``repro`` script."""
@@ -317,7 +418,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command is None:
         parser.print_help()
         return 0
-    handlers = {"screen": cmd_screen, "stream": cmd_stream, "bench": cmd_bench}
+    handlers = {"screen": cmd_screen, "stream": cmd_stream, "bench": cmd_bench,
+                "bench-similarity": cmd_bench_similarity}
     try:
         return handlers[args.command](args)
     except CliError as exc:

@@ -22,6 +22,7 @@ registry cache and the classifier fits on a few hundred score vectors.
 from __future__ import annotations
 
 from repro.core.detector import MVPEarsDetector
+from repro.similarity.engine import SimilarityEngine, resolve_score_cache
 
 #: Auxiliary suite of the paper's headline system DS0+{DS1, GCS, AT}.
 DEFAULT_AUXILIARIES: tuple[str, ...] = ("DS1", "GCS", "AT")
@@ -37,7 +38,10 @@ def default_detector(target: str = "DS0",
                      workers: int | None = None,
                      cache=True,
                      defense: str = "multi-asr",
-                     transforms=None) -> MVPEarsDetector:
+                     transforms=None,
+                     scorer: str | None = None,
+                     scoring_backend: str | None = None,
+                     score_cache="shared") -> MVPEarsDetector:
     """Build and fit a default detection system.
 
     Args:
@@ -57,6 +61,14 @@ def default_detector(target: str = "DS0",
         transforms: transformation ensemble for the ``transform`` and
             ``combined`` modes (default:
             :func:`~repro.defenses.transforms.default_transform_suite`).
+        scorer: similarity method name (default: the paper's
+            ``PE_JaroWinkler``).
+        scoring_backend: scoring backend name (``"fast"`` — the default —
+            or ``"reference"``, the paper-faithful scalar path).
+        score_cache: pair-score cache policy — ``"shared"`` (default),
+            ``"private"``, ``"off"``, a file path, a bool, or a
+            :class:`~repro.similarity.score_cache.PairScoreCache` (see
+            :func:`~repro.similarity.engine.resolve_score_cache`).
 
     Returns:
         A fitted :class:`~repro.core.detector.MVPEarsDetector` (a
@@ -70,6 +82,8 @@ def default_detector(target: str = "DS0",
     from repro.asr.registry import build_asr
     from repro.datasets.scores import load_scored_dataset
 
+    scoring = SimilarityEngine(scorer=scorer, backend=scoring_backend,
+                               cache=resolve_score_cache(score_cache))
     if defense == "multi-asr":
         detector = MVPEarsDetector(
             build_asr(target),
@@ -77,9 +91,11 @@ def default_detector(target: str = "DS0",
             classifier=classifier,
             workers=workers,
             cache=cache,
+            scoring=scoring,
         )
         dataset = load_scored_dataset(scale)
-        features, labels = dataset.features_for(tuple(auxiliaries))
+        features, labels = dataset.features_for(
+            tuple(auxiliaries), method=scoring.scorer.name, scoring=scoring)
         return detector.fit_features(features, labels)
 
     from repro.datasets.builder import load_standard_bundle
@@ -94,5 +110,6 @@ def default_detector(target: str = "DS0",
         classifier=classifier,
         workers=workers,
         cache=cache,
+        scoring=scoring,
     )
     return detector.fit_bundle(load_standard_bundle(scale))

@@ -6,8 +6,11 @@ parallel — recognition fans out across a
 :class:`~repro.pipeline.engine.TranscriptionEngine` worker pool, with
 ``workers=0`` selecting the original sequential path — one similarity
 score per auxiliary is computed between the target transcription and that
-auxiliary's transcription, and the score vector is classified as benign
-or adversarial.  Batched detection over many clips lives in
+auxiliary's transcription through a
+:class:`~repro.similarity.engine.SimilarityEngine` (pluggable backend +
+shared pair-score cache, the ``scoring`` constructor argument), and the
+score vector is classified as benign or adversarial.  Batched detection
+over many clips lives in
 :class:`~repro.pipeline.detection.DetectionPipeline`.
 """
 
@@ -26,7 +29,8 @@ from repro.ml.metrics import ClassificationReport, classification_report
 from repro.ml.registry import build_classifier
 from repro.pipeline.cache import TranscriptionCache
 from repro.pipeline.engine import TranscriptionEngine
-from repro.similarity.scorer import SimilarityScorer, get_scorer
+from repro.similarity.engine import ScoringBackend, SimilarityEngine
+from repro.similarity.scorer import SimilarityScorer
 
 
 @dataclass(frozen=True)
@@ -59,28 +63,38 @@ class MVPEarsDetector:
         target_asr: the model under protection.
         auxiliary_asrs: the diverse auxiliary models.
         classifier: a fitted-later binary classifier or a registry name.
-        scorer: similarity scorer (default: the paper's PE_JaroWinkler).
+        scorer: similarity scorer or registry name (default: the paper's
+            PE_JaroWinkler); ignored when ``scoring`` is a pre-built
+            engine.
         workers: transcription worker-pool size; ``0`` keeps the original
             sequential path, ``None`` picks a default from the CPU count.
         engine: inject a pre-built :class:`TranscriptionEngine` (for a
             shared pool/cache); overrides ``workers``/``cache``.
         cache: transcription cache policy, passed through to the engine
             (``True`` shares the process-wide content-hash cache).
+        scoring: similarity scoring engine — a pre-built
+            :class:`~repro.similarity.engine.SimilarityEngine`, a backend
+            (instance or registry name ``"fast"``/``"reference"``), or
+            ``None`` for the default fast engine with the shared
+            pair-score cache.
     """
 
     def __init__(self, target_asr: ASRSystem, auxiliary_asrs: list[ASRSystem],
                  classifier: BinaryClassifier | str = "SVM",
-                 scorer: SimilarityScorer | None = None,
+                 scorer: SimilarityScorer | str | None = None,
                  workers: int | None = None,
                  engine: TranscriptionEngine | None = None,
-                 cache: TranscriptionCache | bool | None = True):
+                 cache: TranscriptionCache | bool | None = True,
+                 scoring: SimilarityEngine | ScoringBackend | str | None = None):
         if not auxiliary_asrs:
             raise ValueError("at least one auxiliary ASR is required")
         self.target_asr = target_asr
         self.auxiliary_asrs = list(auxiliary_asrs)
         self.classifier = (build_classifier(classifier)
                            if isinstance(classifier, str) else classifier)
-        self.scorer = scorer or get_scorer()
+        self.scoring = (scoring if isinstance(scoring, SimilarityEngine)
+                        else SimilarityEngine(scorer=scorer, backend=scoring))
+        self.scorer = self.scoring.scorer
         self.engine = engine if engine is not None else TranscriptionEngine(
             target_asr, self.auxiliary_asrs, workers=workers, cache=cache)
         self._fitted = False
@@ -105,7 +119,7 @@ class MVPEarsDetector:
     def extract_features(self, audios: list[Waveform]) -> np.ndarray:
         """Similarity-score feature matrix for a batch of audio clips."""
         return score_vectors(audios, self.target_asr, self.auxiliary_asrs,
-                             self.scorer, engine=self.engine)
+                             engine=self.engine, scoring=self.scoring)
 
     def fit(self, audios: list[Waveform], labels: np.ndarray) -> "MVPEarsDetector":
         """Train the binary classifier on labelled audio clips."""
@@ -131,7 +145,8 @@ class MVPEarsDetector:
         suite = self.engine.transcribe(audio)
         recognition_end = time.perf_counter()
 
-        scores = suite_score_vector(suite, self.auxiliary_asrs, self.scorer)
+        scores = suite_score_vector(suite, self.auxiliary_asrs,
+                                    scoring=self.scoring)
         similarity_end = time.perf_counter()
         verdict = bool(self.classifier.predict(scores[None, :])[0] == 1)
         classification_end = time.perf_counter()

@@ -29,10 +29,9 @@ import numpy as np
 
 from repro.asr.registry import build_asr
 from repro.config import DEFAULT_SEED, ReproScale, cache_dir, get_scale
-from repro.core.features import scores_from_transcriptions
 from repro.datasets.builder import DatasetBundle, load_standard_bundle
 from repro.pipeline.engine import TranscriptionEngine
-from repro.similarity.scorer import get_scorer
+from repro.similarity.engine import SimilarityEngine
 
 #: Auxiliary ASR order used by every experiment (matches the paper).
 AUXILIARY_ORDER: tuple[str, ...] = ("DS1", "GCS", "AT")
@@ -68,7 +67,9 @@ class ScoredDataset:
 
     def features_for(self, auxiliaries: tuple[str, ...],
                      kinds: tuple[str, ...] | None = None,
-                     method: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+                     method: str | None = None,
+                     scoring: SimilarityEngine | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray]:
         """Score matrix and labels for a subsystem and sample subset.
 
         Args:
@@ -77,20 +78,24 @@ class ScoredDataset:
             kinds: restrict to these attack kinds (None keeps every sample).
             method: similarity method; defaults to the dataset's method and
                 recomputes scores from transcriptions when different.
+            scoring: engine for the recompute path (honours the caller's
+                backend and cache policy); defaults to a fresh engine for
+                ``method`` with the shared pair-score cache.
         """
         mask = self.mask_for(kinds)
         labels = self.labels[mask]
         if method is None or method == self.method:
             columns = [AUXILIARY_ORDER.index(name) for name in auxiliaries]
             return self.scores[mask][:, columns], labels
-        scorer = get_scorer(method)
+        # Recomputing under another method is one batch engine call: the
+        # pair-score cache makes Table III's systems (which share
+        # auxiliary columns) score each distinct pair exactly once.
+        engine = scoring if scoring is not None else SimilarityEngine(scorer=method)
         indices = np.where(mask)[0]
-        features = np.empty((indices.shape[0], len(auxiliaries)))
-        for row, index in enumerate(indices):
-            features[row] = scores_from_transcriptions(
-                self.target_texts[index],
-                [self.auxiliary_texts[name][index] for name in auxiliaries],
-                scorer)
+        pairs = [(self.target_texts[index], self.auxiliary_texts[name][index])
+                 for index in indices for name in auxiliaries]
+        features = engine.score_pairs(pairs).reshape(indices.shape[0],
+                                                     len(auxiliaries))
         return features, labels
 
     def benign_features(self, auxiliaries: tuple[str, ...] = AUXILIARY_ORDER,
@@ -122,7 +127,7 @@ def compute_scored_dataset(bundle: DatasetBundle,
     """
     target_asr = build_asr("DS0")
     auxiliaries = [build_asr(name) for name in AUXILIARY_ORDER]
-    scorer = get_scorer(method)
+    scoring = SimilarityEngine(scorer=method)
 
     samples = list(bundle.all_samples)
     if include_nontargeted:
@@ -135,12 +140,8 @@ def compute_scored_dataset(bundle: DatasetBundle,
     target_texts = [suite.target.text for suite in suites]
     auxiliary_texts = {name: [suite.auxiliaries[name].text for suite in suites]
                        for name in AUXILIARY_ORDER}
-    scores = np.array([
-        scores_from_transcriptions(
-            target_texts[row],
-            [auxiliary_texts[name][row] for name in AUXILIARY_ORDER], scorer)
-        for row in range(len(samples))
-    ]) if samples else np.empty((0, len(AUXILIARY_ORDER)))
+    scores = (scoring.score_suites(suites, auxiliaries)
+              if samples else np.empty((0, len(AUXILIARY_ORDER))))
     return ScoredDataset(labels=labels, kinds=kinds, target_texts=target_texts,
                          auxiliary_texts=auxiliary_texts, method=method,
                          scores=scores)

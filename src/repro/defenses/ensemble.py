@@ -31,6 +31,7 @@ from repro.defenses.transforms import Transform, default_transform_suite
 from repro.ml.base import BinaryClassifier
 from repro.pipeline.cache import TranscriptionCache
 from repro.pipeline.engine import TranscriptionEngine
+from repro.similarity.engine import ScoringBackend, SimilarityEngine
 from repro.similarity.scorer import SimilarityScorer
 
 
@@ -86,18 +87,22 @@ class TransformEnsembleDetector(MVPEarsDetector):
             :func:`~repro.defenses.transforms.default_transform_suite`).
         asr_auxiliaries: real auxiliary ASRs to keep alongside the
             transforms; pass the paper's suite for the combined system.
-        classifier / scorer / workers / engine / cache: as for
-            :class:`~repro.core.detector.MVPEarsDetector`.
+        classifier / scorer / workers / engine / cache / scoring: as for
+            :class:`~repro.core.detector.MVPEarsDetector`.  The shared
+            pair-score cache matters doubly here: transform auxiliaries
+            often agree with the target verbatim on benign audio, so
+            their suite pairs collapse to a handful of cache entries.
     """
 
     def __init__(self, target_asr: ASRSystem,
                  transforms: list[Transform] | None = None,
                  asr_auxiliaries: list[ASRSystem] | None = None,
                  classifier: BinaryClassifier | str = "SVM",
-                 scorer: SimilarityScorer | None = None,
+                 scorer: SimilarityScorer | str | None = None,
                  workers: int | None = None,
                  engine: TranscriptionEngine | None = None,
-                 cache: TranscriptionCache | bool | None = True):
+                 cache: TranscriptionCache | bool | None = True,
+                 scoring: SimilarityEngine | ScoringBackend | str | None = None):
         transforms = list(transforms) if transforms is not None else \
             default_transform_suite()
         if not transforms and not asr_auxiliaries:
@@ -106,7 +111,7 @@ class TransformEnsembleDetector(MVPEarsDetector):
         auxiliaries.extend(TransformedASR(target_asr, t) for t in transforms)
         super().__init__(target_asr, auxiliaries, classifier=classifier,
                          scorer=scorer, workers=workers, engine=engine,
-                         cache=cache)
+                         cache=cache, scoring=scoring)
         self.transforms = transforms
         self.asr_auxiliaries = list(asr_auxiliaries or [])
 

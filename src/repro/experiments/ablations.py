@@ -28,13 +28,16 @@ def run_kaldi_auxiliary_ablation(bundle: DatasetBundle, dataset: ScoredDataset,
                                  max_samples: int = 64, n_splits: int = 5,
                                  seed: int = 43,
                                  classifier_name: str = "SVM",
-                                 workers: int | None = None) -> ExperimentTable:
+                                 workers: int | None = None,
+                                 scoring=None) -> ExperimentTable:
     """Compare DS0+{Kaldi} against DS0+{DS1} on the same samples.
 
     Feature extraction routes through the transcription engine, so the
     DS0 transcriptions of these clips come from the shared cache when the
     scored dataset was computed in the same process; only the Kaldi
-    column pays decode time.
+    column pays decode time.  Scoring routes through a batch
+    :class:`~repro.similarity.engine.SimilarityEngine` (pass ``scoring=``
+    to inject a configured one).
     """
     target_asr = build_asr("DS0")
     kaldi = build_asr("KAL")
@@ -42,7 +45,7 @@ def run_kaldi_auxiliary_ablation(bundle: DatasetBundle, dataset: ScoredDataset,
     labels = np.array([sample.label for sample in samples])
     waveforms = [sample.waveform for sample in samples]
     kaldi_features = score_vectors(waveforms, target_asr, [kaldi],
-                                   workers=workers)
+                                   workers=workers, scoring=scoring)
 
     table = ExperimentTable(
         "Kaldi ablation", "Detection accuracy with an inaccurate auxiliary ASR")

@@ -9,9 +9,10 @@ model's own recognition time.
 The measurement routes through :class:`~repro.pipeline.detection
 .DetectionPipeline`, so recognition genuinely fans out across the engine
 worker pool and per-stage wall-clock timing comes straight from the
-pipeline.  A private, empty transcription cache is used so every number
-reflects real decode work; pass ``workers=0`` to reproduce the original
-sequential timing path.
+pipeline.  Private, empty transcription *and* pair-score caches are used
+so every number reflects real decode and scoring work; pass ``workers=0``
+to reproduce the original sequential timing path and
+``scoring_backend="reference"`` to time the original scalar scoring path.
 """
 
 from __future__ import annotations
@@ -25,12 +26,15 @@ from repro.datasets.scores import ScoredDataset
 from repro.experiments.runner import ExperimentTable, add_timing_rows
 from repro.pipeline.cache import TranscriptionCache
 from repro.pipeline.detection import DetectionPipeline
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.score_cache import PairScoreCache
 
 
 def run_overhead_measurement(bundle: DatasetBundle, dataset: ScoredDataset,
                              max_samples: int = 24,
                              classifier_name: str = "SVM",
-                             workers: int | None = None) -> ExperimentTable:
+                             workers: int | None = None,
+                             scoring_backend: str = "fast") -> ExperimentTable:
     """Measure per-component detection overhead on DS0+{DS1}.
 
     Args:
@@ -40,13 +44,20 @@ def run_overhead_measurement(bundle: DatasetBundle, dataset: ScoredDataset,
         classifier_name: classifier registry name.
         workers: engine pool size (``0`` = sequential path, ``None`` =
             default parallel fan-out).
+        scoring_backend: similarity backend to time (``"fast"`` — the
+            default everywhere — or ``"reference"``, the paper-faithful
+            scalar path).
     """
     target_asr = build_asr("DS0")
     auxiliary = build_asr("DS1")
-    # A fresh private cache: overhead numbers must reflect real decoding,
-    # not hits left behind by earlier experiments in the same process.
+    # Fresh private caches: overhead numbers must reflect real decoding
+    # and scoring, not hits left behind by earlier experiments in the
+    # same process.
     detector = MVPEarsDetector(target_asr, [auxiliary], classifier=classifier_name,
-                               workers=workers, cache=TranscriptionCache())
+                               workers=workers, cache=TranscriptionCache(),
+                               scoring=SimilarityEngine(
+                                   backend=scoring_backend,
+                                   cache=PairScoreCache()))
     features, labels = dataset.features_for(("DS1",))
     detector.fit_features(features, labels)
 

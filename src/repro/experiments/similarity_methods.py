@@ -3,6 +3,13 @@
 Six combinations of {Cosine, Jaccard, JaroWinkler} × {raw, phonetic
 encoding} are evaluated on four example systems with an 80/20 split and an
 SVM classifier; phonetic encoding + Jaro-Winkler wins.
+
+Score recomputation under each method routes through the batch
+:class:`~repro.similarity.engine.SimilarityEngine` (inside
+:meth:`ScoredDataset.features_for`): the four example systems share
+auxiliary columns, so with the shared pair-score cache every distinct
+(target, auxiliary) transcription pair is scored once per method instead
+of once per system.
 """
 
 from __future__ import annotations

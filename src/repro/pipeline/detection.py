@@ -4,9 +4,14 @@
 recognition, similarity calculation, classification — over a *batch* of
 clips: recognition fans out through a
 :class:`~repro.pipeline.engine.TranscriptionEngine`, similarity scoring
-runs per clip, and classification is one vectorised classifier call for
-the whole batch.  Per-stage wall-clock timing is reported in the same
-three components the paper's overhead experiment (Section V-I) measures.
+is one :meth:`~repro.similarity.engine.SimilarityEngine.score_suites`
+batch call (encode-once fast kernels + the shared pair-score cache), and
+classification is one vectorised classifier call for the whole batch.
+Per-stage wall-clock timing is reported in the same three components the
+paper's overhead experiment (Section V-I) measures; both cache layers'
+hit/miss counts ride along on the batch result, so the observer hook
+(e.g. :class:`~repro.serving.metrics.ServingMetrics`) sees transcription
+*and* pair-score hit rates.
 """
 
 from __future__ import annotations
@@ -48,6 +53,8 @@ class BatchDetectionResult:
             component against.
         cache_hits: transcriptions served from the engine cache.
         cache_misses: transcriptions actually decoded.
+        score_cache_hits: pair scores served from the pair-score cache.
+        score_cache_misses: pair scores actually computed.
     """
 
     results: list[DetectionResult]
@@ -58,6 +65,8 @@ class BatchDetectionResult:
     target_decode_seconds: np.ndarray = field(default_factory=lambda: np.zeros(0))
     cache_hits: int = 0
     cache_misses: int = 0
+    score_cache_hits: int = 0
+    score_cache_misses: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -102,14 +111,14 @@ class DetectionPipeline:
         return self.engine.transcribe_batch(audios)
 
     def score_suites(self, suites: list[SuiteTranscription]) -> np.ndarray:
-        """Similarity stage only: score matrix from suite transcriptions."""
-        from repro.core.features import suite_score_vector
+        """Similarity stage only: score matrix from suite transcriptions.
 
-        auxiliaries = self.detector.auxiliary_asrs
-        if not suites:
-            return np.empty((0, len(auxiliaries)))
-        return np.array([suite_score_vector(suite, auxiliaries, self.detector.scorer)
-                         for suite in suites])
+        One :meth:`SimilarityEngine.score_suites` batch call — every
+        distinct transcription in the batch is encoded once and repeated
+        pairs come from the pair-score cache.
+        """
+        return self.detector.scoring.score_suites(
+            suites, self.detector.auxiliary_asrs)
 
     def extract_features(self, audios: list[Waveform]) -> np.ndarray:
         """Similarity-score feature matrix for a batch of clips."""
@@ -140,7 +149,8 @@ class DetectionPipeline:
         start = time.perf_counter()
         suites = self.engine.transcribe_batch(audios)
         recognition_end = time.perf_counter()
-        features = self.score_suites(suites)
+        features, score_report = self.detector.scoring.score_suites_report(
+            suites, self.detector.auxiliary_asrs)
         similarity_end = time.perf_counter()
         predictions = self.detector.predict_features(features)
         classification_end = time.perf_counter()
@@ -181,6 +191,8 @@ class DetectionPipeline:
                 [suite.target.elapsed_seconds for suite in suites]),
             cache_hits=sum(suite.cache_hits for suite in suites),
             cache_misses=sum(suite.cache_misses for suite in suites),
+            score_cache_hits=score_report.cache_hits,
+            score_cache_misses=score_report.cache_misses,
         ))
 
     def _observed(self, batch: BatchDetectionResult) -> BatchDetectionResult:

@@ -78,6 +78,10 @@ class StreamDetectionResult:
             pipeline batches that served this stream.
         cache_hits: transcriptions served from the engine cache.
         cache_misses: transcriptions actually decoded.
+        score_cache_hits: pair scores served from the pair-score cache —
+            overlapping windows re-hear the same audio, so their suite
+            pairs repeat and hit this cache.
+        score_cache_misses: pair scores actually computed.
     """
 
     windows: list[WindowVerdict]
@@ -85,6 +89,8 @@ class StreamDetectionResult:
     stage_seconds: dict = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    score_cache_hits: int = 0
+    score_cache_misses: int = 0
 
     def __len__(self) -> int:
         return len(self.windows)

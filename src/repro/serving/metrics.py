@@ -70,6 +70,8 @@ class ServingMetrics:
         batches: pipeline batches observed.
         cache_hits: transcriptions served from the engine cache.
         cache_misses: transcriptions actually decoded.
+        score_cache_hits: pair scores served from the pair-score cache.
+        score_cache_misses: pair scores actually computed.
     """
 
     stages: dict = field(default_factory=dict)
@@ -77,6 +79,8 @@ class ServingMetrics:
     batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    score_cache_hits: int = 0
+    score_cache_misses: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -92,6 +96,8 @@ class ServingMetrics:
             self.requests += n
             self.cache_hits += batch.cache_hits
             self.cache_misses += batch.cache_misses
+            self.score_cache_hits += getattr(batch, "score_cache_hits", 0)
+            self.score_cache_misses += getattr(batch, "score_cache_misses", 0)
             for stage, seconds in batch.stage_seconds.items():
                 self.stages.setdefault(stage, StageStats()).record(n, seconds)
 
@@ -121,6 +127,7 @@ class ServingMetrics:
                 for name, stats in self.stages.items()
             }
             cache_lookups = self.cache_hits + self.cache_misses
+            score_lookups = self.score_cache_hits + self.score_cache_misses
             return {
                 "requests": self.requests,
                 "batches": self.batches,
@@ -130,6 +137,10 @@ class ServingMetrics:
                 "cache_misses": self.cache_misses,
                 "cache_hit_rate": (self.cache_hits / cache_lookups
                                    if cache_lookups else 0.0),
+                "score_cache_hits": self.score_cache_hits,
+                "score_cache_misses": self.score_cache_misses,
+                "score_cache_hit_rate": (self.score_cache_hits / score_lookups
+                                         if score_lookups else 0.0),
                 "stages": stages,
                 "latency_seconds": {
                     "p50": _percentile(latencies, 0.50),
@@ -150,7 +161,10 @@ class ServingMetrics:
             f"requests {snap['requests']}  batches {snap['batches']}  "
             f"mean batch {snap['mean_batch_size']:.2f}  "
             f"cache hit rate {snap['cache_hit_rate']:.0%} "
-            f"({snap['cache_hits']}/{snap['cache_hits'] + snap['cache_misses']})",
+            f"({snap['cache_hits']}/{snap['cache_hits'] + snap['cache_misses']})"
+            f"  score cache {snap['score_cache_hit_rate']:.0%} "
+            f"({snap['score_cache_hits']}/"
+            f"{snap['score_cache_hits'] + snap['score_cache_misses']})",
             f"{'stage':<16}{'clips':>8}{'seconds':>10}{'ms/clip':>10}{'clips/s':>10}",
         ]
         for name in ("recognition", "similarity", "classification", "total"):

@@ -5,8 +5,10 @@ fitted :class:`~repro.core.detector.MVPEarsDetector`: the stream is cut
 into overlapping windows (:mod:`repro.serving.chunker`), every window is
 scored through the batched
 :class:`~repro.pipeline.detection.DetectionPipeline` (so recognition of
-consecutive windows overlaps in the engine's worker pool), and the
-per-window verdicts fold into a stream-level verdict with hysteresis
+consecutive windows overlaps in the engine's worker pool, and similarity
+scoring of repeated transcription pairs — overlapping windows re-hear the
+same audio — is served from the detector's shared pair-score cache), and
+the per-window verdicts fold into a stream-level verdict with hysteresis
 (:mod:`repro.serving.aggregator`).
 
 Two entry points:
@@ -67,6 +69,8 @@ class StreamSession:
         self._stage_seconds = dict.fromkeys(_STAGES, 0.0)
         self._cache_hits = 0
         self._cache_misses = 0
+        self._score_cache_hits = 0
+        self._score_cache_misses = 0
 
     # ------------------------------------------------------------ properties
     @property
@@ -110,6 +114,8 @@ class StreamSession:
             stage_seconds=dict(self._stage_seconds),
             cache_hits=self._cache_hits,
             cache_misses=self._cache_misses,
+            score_cache_hits=self._score_cache_hits,
+            score_cache_misses=self._score_cache_misses,
         )
 
     # ------------------------------------------------------------- internals
@@ -164,6 +170,8 @@ class StreamSession:
             self._stage_seconds[stage] += batch.stage_seconds.get(stage, 0.0)
         self._cache_hits += batch.cache_hits
         self._cache_misses += batch.cache_misses
+        self._score_cache_hits += batch.score_cache_hits
+        self._score_cache_misses += batch.score_cache_misses
         verdicts = []
         for window, result in zip(pending, batch.results):
             state = self.aggregator.update(window.start_seconds,

@@ -4,6 +4,13 @@ Implements the similarity-calculation component of the MVP-EARS pipeline:
 phonetic encodings (Soundex, Metaphone) and string similarity measures
 (Jaccard, cosine, Jaro, Jaro-Winkler, Levenshtein ratio), plus the six
 combined scorers compared in Table III of the paper.
+
+Batch scoring lives in :mod:`repro.similarity.engine`: a pluggable
+:class:`ScoringBackend` registry (the scalar ``"reference"`` path and the
+encode-once ``"fast"`` path over the kernels in
+:mod:`repro.similarity.kernels`, bit-identical by construction and by
+test) behind a :class:`SimilarityEngine` whose pair scores are memoised
+in a :class:`PairScoreCache` (see ``docs/SCORING.md``).
 """
 
 from repro.similarity.phonetic import soundex, metaphone, phonetic_encode
@@ -19,6 +26,21 @@ from repro.similarity.scorer import (
     SimilarityScorer,
     get_scorer,
 )
+from repro.similarity.score_cache import PairScoreCache, ScoreCacheStats
+from repro.similarity.engine import (
+    DEFAULT_SCORING_BACKEND,
+    FastScoringBackend,
+    ReferenceScoringBackend,
+    ScoreBatchReport,
+    ScoringBackend,
+    SimilarityEngine,
+    default_engine,
+    get_scoring_backend,
+    get_shared_score_cache,
+    register_scoring_backend,
+    resolve_score_cache,
+    scoring_backend_names,
+)
 
 __all__ = [
     "soundex",
@@ -32,4 +54,18 @@ __all__ = [
     "SIMILARITY_METHODS",
     "SimilarityScorer",
     "get_scorer",
+    "PairScoreCache",
+    "ScoreCacheStats",
+    "DEFAULT_SCORING_BACKEND",
+    "FastScoringBackend",
+    "ReferenceScoringBackend",
+    "ScoreBatchReport",
+    "ScoringBackend",
+    "SimilarityEngine",
+    "default_engine",
+    "get_scoring_backend",
+    "get_shared_score_cache",
+    "register_scoring_backend",
+    "resolve_score_cache",
+    "scoring_backend_names",
 ]

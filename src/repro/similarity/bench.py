@@ -1,0 +1,160 @@
+"""The similarity-scoring microbenchmark (``repro bench-similarity``).
+
+Times the ``reference`` scalar backend against the ``fast`` encode-once
+backend on a synthetic transcription corpus, over the two workload shapes
+the library actually serves:
+
+* **batch** — a batch of distinct transcription pairs scored once each
+  (the :meth:`~repro.pipeline.detection.DetectionPipeline.detect_batch`
+  shape).  Both backends run cache-less, so this isolates the kernel and
+  encode-phase win.
+* **stream** — every pair recurs ``overlap`` times, interleaved the way
+  overlapping streaming windows re-hear the same audio (hop = window /
+  overlap).  The fast engine runs with a warm
+  :class:`~repro.similarity.score_cache.PairScoreCache`; the reference
+  measurement is the scalar path the seed library ran, which recomputed
+  every recurrence.
+
+The report is machine-readable (written to ``BENCH_similarity.json`` by
+the CLI, uploaded as a CI artifact) and self-checking: it records the
+maximum absolute difference between the two backends' scores, which must
+be exactly zero.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.similarity.engine import SimilarityEngine, get_scoring_backend
+from repro.similarity.score_cache import PairScoreCache
+from repro.similarity.scorer import DEFAULT_METHOD, get_scorer
+
+
+def synthetic_transcription_pairs(n_pairs: int = 300,
+                                  seed: int = 0) -> list[tuple[str, str]]:
+    """Distinct (target, auxiliary) transcription-like text pairs.
+
+    Base sentences come from the LibriSpeech-like corpus; the auxiliary
+    side is perturbed the way a diverse ASR disagrees — verbatim
+    agreement, dropped words, swapped word order, cross-sentence word
+    substitutions and in-word character mangling, in proportions chosen
+    so the pair population spans the easy early-exit cases and the hard
+    full-DP cases alike.
+    """
+    from repro.text.corpus import librispeech_like_corpus
+
+    rng = np.random.default_rng(seed)
+    sentences = librispeech_like_corpus().sample(max(16, n_pairs // 4), rng)
+    vocabulary = sorted({word for sentence in sentences
+                         for word in sentence.split()})
+
+    def perturb(sentence: str) -> str:
+        words = sentence.split()
+        kind = rng.integers(5)
+        if kind == 0 or len(words) < 2:
+            return sentence                       # verbatim agreement
+        if kind == 1:
+            del words[rng.integers(len(words))]   # dropped word
+        elif kind == 2:
+            i = int(rng.integers(len(words) - 1))
+            words[i], words[i + 1] = words[i + 1], words[i]
+        elif kind == 3:
+            words[rng.integers(len(words))] = \
+                vocabulary[rng.integers(len(vocabulary))]
+        else:
+            i = int(rng.integers(len(words)))
+            word = list(words[i])
+            word[rng.integers(len(word))] = "abcdefghijklmnopqrstuvwxyz"[
+                rng.integers(26)]
+            words[i] = "".join(word)
+        return " ".join(words)
+
+    pairs = []
+    seen = set()
+    while len(pairs) < n_pairs:
+        target = sentences[int(rng.integers(len(sentences)))]
+        pair = (target, perturb(target))
+        if pair not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+    return pairs
+
+
+def _interleave_stream(pairs: list[tuple[str, str]],
+                       overlap: int) -> list[tuple[str, str]]:
+    """The streaming recurrence pattern: window ``i`` shares pairs with
+    its ``overlap - 1`` neighbours, so each pair appears ``overlap``
+    times, staggered rather than back-to-back."""
+    stream = []
+    for start in range(overlap):
+        stream.extend(pairs[start::overlap] * overlap)
+    return stream[:len(pairs) * overlap]
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_similarity_benchmark(n_pairs: int = 300, overlap: int = 4,
+                             repeats: int = 3, seed: int = 0,
+                             method: str = DEFAULT_METHOD) -> dict:
+    """Time reference vs fast scoring; return a JSON-friendly report."""
+    scorer = get_scorer(method)
+    reference = get_scoring_backend("reference")
+    fast = get_scoring_backend("fast")
+    pairs = synthetic_transcription_pairs(n_pairs, seed)
+    stream = _interleave_stream(pairs, overlap)
+
+    # Parity first: the benchmark refuses to report a speedup for wrong
+    # answers.
+    reference_scores = reference.score_pairs(scorer, pairs)
+    fast_scores = fast.score_pairs(scorer, pairs)
+    parity = float(np.max(np.abs(reference_scores - fast_scores),
+                          initial=0.0))
+
+    batch_reference = _best_of(repeats,
+                               lambda: reference.score_pairs(scorer, pairs))
+    batch_fast = _best_of(repeats, lambda: fast.score_pairs(scorer, pairs))
+
+    stream_reference = _best_of(repeats,
+                                lambda: reference.score_pairs(scorer, stream))
+    cache = PairScoreCache(capacity=max(65536, len(pairs) * 2))
+    warm_engine = SimilarityEngine(scorer=scorer, backend=fast, cache=cache)
+    warm_engine.score_pairs(pairs)          # warm the cache
+    cache.stats.hits = cache.stats.misses = 0
+    stream_fast = _best_of(repeats,
+                           lambda: warm_engine.score_pairs(stream))
+
+    def _shape(reference_seconds: float, fast_seconds: float,
+               n_scored: int) -> dict:
+        return {
+            "reference_seconds": reference_seconds,
+            "fast_seconds": fast_seconds,
+            "speedup": (reference_seconds / fast_seconds
+                        if fast_seconds > 0 else float("inf")),
+            "reference_pairs_per_second": (n_scored / reference_seconds
+                                           if reference_seconds > 0 else 0.0),
+            "fast_pairs_per_second": (n_scored / fast_seconds
+                                      if fast_seconds > 0 else 0.0),
+        }
+
+    return {
+        "method": method,
+        "n_pairs": len(pairs),
+        "overlap": overlap,
+        "repeats": repeats,
+        "seed": seed,
+        "parity_max_abs_diff": parity,
+        "batch": _shape(batch_reference, batch_fast, len(pairs)),
+        "stream": {
+            **_shape(stream_reference, stream_fast, len(stream)),
+            "cache_hit_rate": cache.stats.hit_rate,
+        },
+    }

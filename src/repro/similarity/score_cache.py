@@ -1,0 +1,151 @@
+"""Content-addressed caching of pair similarity scores.
+
+Scoring a transcription pair is pure — the score is a function of the two
+texts and the scorer configuration alone — yet the same pairs are scored
+again and again: overlapping streaming windows re-hear the same audio,
+transform-ensemble auxiliaries often agree verbatim with the target, and
+every Table III system shares auxiliary columns with the others.  The
+transcription layer already caches by audio content hash
+(:class:`~repro.pipeline.cache.TranscriptionCache`); this module gives
+the scoring layer the same treatment.
+
+The cache key is the scorer's configuration tag (name, metric, phonetic
+flag — see :attr:`~repro.similarity.scorer.SimilarityScorer.cache_tag`)
+plus a content hash of each text, so two calls scoring identical strings
+share one entry regardless of where the strings came from.  Storage is a
+thread-safe in-memory LRU, optionally backed by a JSON file on disk,
+mirroring :class:`~repro.pipeline.cache.TranscriptionCache`'s API and
+statistics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+def text_fingerprint(text: str) -> str:
+    """Content hash identifying one transcription text."""
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ScoreCacheStats:
+    """Hit/miss/eviction counters of one :class:`PairScoreCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PairScoreCache:
+    """Thread-safe LRU cache of pair scores keyed by scorer + text content.
+
+    Args:
+        capacity: maximum number of entries kept in memory; the least
+            recently used entry is evicted first.
+        path: optional JSON file backing the cache on disk.  Existing
+            entries are loaded eagerly; call :meth:`save` to persist.
+    """
+
+    def __init__(self, capacity: int = 65536, path: str | None = None):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.path = path
+        self.stats = ScoreCacheStats()
+        self._entries: OrderedDict[str, float] = OrderedDict()
+        self._lock = threading.Lock()
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    @staticmethod
+    def key_for(scorer_tag: str, text_a: str, text_b: str) -> str:
+        """Cache key of one (scorer, text pair) combination.
+
+        ``scorer_tag`` is a scorer configuration tag (see
+        :attr:`~repro.similarity.scorer.SimilarityScorer.cache_tag`);
+        the texts are hashed individually, so the key is direction-aware
+        (``(a, b)`` and ``(b, a)`` are distinct entries — every metric in
+        the library is symmetric, but the cache does not assume it).
+        """
+        return (f"{scorer_tag}:{text_fingerprint(text_a)}"
+                f":{text_fingerprint(text_b)}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> float | None:
+        """Look up ``key``, updating LRU order and hit/miss statistics."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: str, score: float) -> None:
+        """Store ``score`` under ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            self._entries[key] = float(score)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = ScoreCacheStats()
+
+    # ------------------------------------------------------------ disk store
+    def save(self, path: str | None = None) -> str:
+        """Write the cache to ``path`` (default: the constructor path)."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no path given and cache has no backing file")
+        with self._lock:
+            payload = dict(self._entries)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def load(self, path: str | None = None) -> int:
+        """Merge entries from ``path`` into the cache; returns the count."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no path given and cache has no backing file")
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        with self._lock:
+            for key, value in payload.items():
+                self._entries[key] = float(value)
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return len(payload)

@@ -37,6 +37,18 @@ class SimilarityScorer:
     metric_name: str
     use_phonetic_encoding: bool
 
+    @property
+    def cache_tag(self) -> str:
+        """Configuration tag keying this scorer's entries in a
+        :class:`~repro.similarity.score_cache.PairScoreCache`.
+
+        Includes the metric and the phonetic flag, not just the display
+        name, so two scorers can only share cache entries when they are
+        behaviourally identical.
+        """
+        return (f"{self.name}|{self.metric_name}"
+                f"|pe={int(self.use_phonetic_encoding)}")
+
     def score(self, text_a: str, text_b: str) -> float:
         """Similarity of two transcriptions, in ``[0, 1]``."""
         metric = _BASE_METRICS[self.metric_name]

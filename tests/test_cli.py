@@ -51,7 +51,7 @@ def test_no_command_prints_help(capsys):
 
 def test_parser_covers_documented_commands():
     parser = build_parser()
-    assert {"screen", "stream", "bench"} <= set(
+    assert {"screen", "stream", "bench", "bench-similarity"} <= set(
         parser._subparsers._group_actions[0].choices)
 
 
@@ -124,6 +124,53 @@ def test_bad_transform_spec_is_a_user_error(wav_paths, capsys):
 def test_missing_wav_is_a_user_error(capsys):
     assert main(["screen", "/nonexistent/clip.wav"]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_screen_scoring_backends_agree(wav_paths, capsys):
+    runs = {}
+    for backend in ("fast", "reference"):
+        code = main(["screen", wav_paths[0], "--scale", "tiny",
+                     "--scoring-backend", backend, "--score-cache", "private",
+                     "--json"])
+        assert code in (0, 1)
+        runs[backend] = json.loads(capsys.readouterr().out)["results"][0]
+    assert runs["fast"]["scores"] == runs["reference"]["scores"]
+    assert runs["fast"]["is_adversarial"] == runs["reference"]["is_adversarial"]
+
+
+def test_unknown_scorer_is_a_user_error(wav_paths, capsys):
+    assert main(["screen", wav_paths[0], "--scale", "tiny",
+                 "--scorer", "nope"]) == 2
+    assert "nope" in capsys.readouterr().err
+
+
+def test_mistyped_score_cache_policy_is_a_user_error(wav_paths, capsys):
+    assert main(["screen", wav_paths[0], "--scale", "tiny",
+                 "--score-cache", "sharde"]) == 2
+    assert "sharde" in capsys.readouterr().err
+
+
+def test_bench_similarity_writes_report(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_similarity.json")
+    code = main(["bench-similarity", "--pairs", "40", "--overlap", "3",
+                 "--repeats", "1", "--output", out, "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    with open(out, encoding="utf-8") as handle:
+        assert json.load(handle) == payload
+    assert payload["parity_max_abs_diff"] == 0.0
+    assert payload["n_pairs"] == 40
+    assert payload["batch"]["reference_seconds"] > 0
+    assert payload["stream"]["cache_hit_rate"] == 1.0
+
+
+def test_bench_similarity_validates_inputs(tmp_path, capsys):
+    out = str(tmp_path / "r.json")
+    assert main(["bench-similarity", "--pairs", "0", "--output", out]) == 2
+    assert "--pairs" in capsys.readouterr().err
+    assert main(["bench-similarity", "--pairs", "10", "--scorer", "nope",
+                 "--output", out]) == 2
+    assert "nope" in capsys.readouterr().err
 
 
 def test_python_dash_m_repro_runs():
