@@ -1,37 +1,38 @@
-"""Quickstart: build an MVP-EARS detector and classify one benign sample
-and one adversarial example.
+"""Quickstart: describe an MVP-EARS detector as a spec, build it, and
+classify one benign sample and one adversarial example.
 
-The detector fans recognition out across the ASR suite with a worker
-pool (pass ``workers=0`` for the original sequential path) and caches
-transcriptions by audio content, so re-screening a clip is nearly free.
+A detection system is one declarative value — a ``DetectorSpec`` tree
+naming the ASR suite, the scoring method, the classifier and the
+training preset — and ``repro.build(spec)`` turns it into a fitted
+detector.  The same spec round-trips through JSON, so the system built
+here is exactly reproducible from a config file (see
+``examples/configs/`` and ``docs/CONFIG.md``).
 
 Run with::
 
     PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro import MVPEarsDetector, WhiteBoxCarliniAttack, build_asr
+from repro import DetectorSpec, WhiteBoxCarliniAttack, build
 from repro.asr.registry import get_shared_lexicon
 from repro.audio.synthesis import SpeechSynthesizer
-from repro.datasets.scores import load_scored_dataset
 
 
 def main() -> None:
-    # 1. The ASR suite: DeepSpeech v0.1.0 is the target, the other three are
-    #    the auxiliary models (Figure 3 of the paper).
-    target = build_asr("DS0")
-    auxiliaries = [build_asr(name) for name in ("DS1", "GCS", "AT")]
+    # 1. The paper's system, declaratively: DeepSpeech v0.1.0 as the
+    #    target, {DS1, GCS, AT} as the auxiliary versions (Figure 3),
+    #    trained on the cached tiny evaluation dataset.
+    spec = DetectorSpec.default(scale="tiny")
+    print("system spec:")
+    print(spec.to_json())
 
-    # 2. Train the detector on the cached tiny evaluation dataset.
-    dataset = load_scored_dataset("tiny")
-    detector = MVPEarsDetector(target, auxiliaries, classifier="SVM")
-    features, labels = dataset.features_for(("DS1", "GCS", "AT"))
-    detector.fit_features(features, labels)
+    # 2. One call from spec to fitted detector.
+    detector = build(spec)
 
     # 3. Craft one adversarial example and synthesise one benign sample.
     synthesizer = SpeechSynthesizer(lexicon=get_shared_lexicon(), seed=99)
     benign = synthesizer.synthesize("the captain studied the map for a long time")
-    attack = WhiteBoxCarliniAttack(target)
+    attack = WhiteBoxCarliniAttack(detector.target_asr)
     adversarial = attack.run(
         synthesizer.synthesize("a gentle wind moved the leaves of the trees"),
         "open the front door").adversarial
@@ -49,7 +50,10 @@ def main() -> None:
               f"(recognition {result.timing['recognition'] * 1000:.1f} ms)")
         print()
 
-    # 5. Re-screening the same clip hits the transcription cache.
+    # 5. The spec survives a JSON round trip — a config file IS the system.
+    assert DetectorSpec.from_dict(spec.to_dict()) == spec
+
+    # 6. Re-screening the same clip hits the transcription cache.
     rerun = detector.detect(benign)
     stats = detector.engine.stats
     print(f"re-screened benign clip in {rerun.elapsed_seconds * 1000:.2f} ms "

@@ -19,7 +19,7 @@ Run with::
 
 import numpy as np
 
-from repro import StreamConfig, StreamingDetector, WhiteBoxCarliniAttack, default_detector
+from repro import DetectorSpec, WhiteBoxCarliniAttack, build_streaming
 from repro.asr.registry import get_shared_lexicon
 from repro.audio.synthesis import SpeechSynthesizer
 from repro.audio.waveform import Waveform
@@ -56,9 +56,16 @@ def padded_to_window_grid(audio: Waveform, sample_rate: int) -> Waveform:
 
 
 def main() -> None:
-    # The paper's default DS0+{DS1, GCS, AT} system, fitted on the tiny
-    # scored dataset (one call; see repro.core.bootstrap).
-    detector = default_detector(scale="tiny")
+    # The paper's default DS0+{DS1, GCS, AT} system plus the assistant's
+    # stream windowing, declared as one spec (see docs/CONFIG.md) and
+    # built into a fitted streaming detector in one call.
+    spec = (DetectorSpec.default(scale="tiny")
+            .with_value("serving.window_seconds", WINDOW_SECONDS)
+            .with_value("serving.hop_seconds", WINDOW_SECONDS)  # aligned tiling
+            .with_value("serving.trigger_windows", 2)
+            .with_value("serving.release_windows", 1))
+    streaming = build_streaming(spec)
+    detector = streaming.pipeline.detector
     sample_rate = SAMPLE_RATE  # the grid must match the synthesized audio
 
     synthesizer = SpeechSynthesizer(lexicon=get_shared_lexicon(), seed=7)
@@ -81,10 +88,7 @@ def main() -> None:
     segments = [(source, command, padded_to_window_grid(audio, sample_rate))
                 for source, command, audio in segments]
 
-    config = StreamConfig(window_seconds=WINDOW_SECONDS,
-                          hop_seconds=WINDOW_SECONDS,  # aligned tiling
-                          trigger_windows=2, release_windows=1)
-    session = StreamingDetector(detector, config=config).session()
+    session = streaming.session()
 
     # Feed the stream segment by segment, as a live microphone would.
     print(f"streaming {sum(a.duration for _, _, a in segments):.1f} s of audio "

@@ -1,20 +1,32 @@
 """MVP-EARS reproduction: multiversion-programming audio AE detection.
 
 Re-exports the stable public surface (documented in ``docs/API.md``):
-the detector and its batched pipeline, the serving layer (streaming
-detection, micro-batching, metrics), the similarity scoring engine
-(pluggable backends + pair-score cache, see ``docs/SCORING.md``), the
-ASR registry, the attacks, and the waveform value type.  Everything else
-lives in the subpackages and is considered internal (see
-``docs/ARCHITECTURE.md``).
+the declarative spec tree and the ``repro.build(spec)`` entry points
+(see ``docs/CONFIG.md``), the detector and its batched pipeline, the
+serving layer (streaming detection, micro-batching, metrics), the
+similarity scoring engine (pluggable backends + pair-score cache, see
+``docs/SCORING.md``), the open ASR registry, the attacks, and the
+waveform value type.  Everything else lives in the subpackages and is
+considered internal (see ``docs/ARCHITECTURE.md``).
+
+Note: the ``build`` name is the *function* (``repro.build(spec)``); the
+module it lives in remains importable as ``from repro.build import ...``.
 """
 
-from repro.asr.registry import build_asr, default_asr_suite
+from repro.asr.registry import (
+    available_asr_names,
+    build_asr,
+    default_asr_suite,
+    register_asr,
+    unregister_asr,
+)
+from repro.build import build, build_batcher, build_pipeline, build_streaming
 from repro.attacks.blackbox import BlackBoxGeneticAttack
 from repro.attacks.whitebox import WhiteBoxCarliniAttack
 from repro.audio.waveform import Waveform
 from repro.core.bootstrap import default_detector
 from repro.core.detector import DetectionResult, MVPEarsDetector
+from repro.errors import UnknownComponentError
 from repro.defenses.ensemble import TransformedASR, TransformEnsembleDetector
 from repro.defenses.transforms import Transform, default_transform_suite, parse_transforms
 from repro.pipeline.cache import TranscriptionCache
@@ -36,10 +48,40 @@ from repro.similarity.engine import (
 )
 from repro.similarity.score_cache import PairScoreCache
 from repro.similarity.scorer import SIMILARITY_METHODS, SimilarityScorer, get_scorer
+from repro.specs import (
+    ASRSpec,
+    ClassifierSpec,
+    DetectorSpec,
+    InvalidSpecError,
+    PipelineSpec,
+    ScoringSpec,
+    ServingSpec,
+    SuiteSpec,
+    TrainingSpec,
+    TransformSpec,
+)
 
 __all__ = [
+    "available_asr_names",
     "build_asr",
     "default_asr_suite",
+    "register_asr",
+    "unregister_asr",
+    "build",
+    "build_batcher",
+    "build_pipeline",
+    "build_streaming",
+    "ASRSpec",
+    "ClassifierSpec",
+    "DetectorSpec",
+    "InvalidSpecError",
+    "PipelineSpec",
+    "ScoringSpec",
+    "ServingSpec",
+    "SuiteSpec",
+    "TrainingSpec",
+    "TransformSpec",
+    "UnknownComponentError",
     "BlackBoxGeneticAttack",
     "WhiteBoxCarliniAttack",
     "Waveform",

@@ -1,0 +1,57 @@
+"""Shared parsing of cache policy strings.
+
+The transcription cache and the pair-score cache expose the same policy
+surface — ``"shared"`` / ``"private"`` / ``"off"`` / an on-disk JSON
+path — configured from the same spec fields and CLI flags.  This module
+holds the single parser both
+:func:`repro.pipeline.engine.resolve_transcription_cache` and
+:func:`repro.similarity.engine.resolve_score_cache` delegate to, so the
+policy names and the path heuristic can never diverge between the two.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.errors import UnknownComponentError
+
+
+def check_cache_policy(spec, kind: str) -> None:
+    """Validate a policy without constructing (or reading) any cache.
+
+    Raises :class:`UnknownComponentError` for a mistyped policy name;
+    accepts everything :func:`resolve_cache_policy` would.  Used by spec
+    validation so ``repro config validate`` never touches cache files.
+    """
+    if isinstance(spec, str) and spec not in ("shared", "private", "off") \
+            and not (os.sep in spec or "/" in spec or spec.endswith(".json")):
+        raise UnknownComponentError(
+            kind, spec, ("shared", "private", "off",
+                         "<path ending in .json>"))
+
+
+def resolve_cache_policy(spec, cache_type: type, kind: str,
+                         make_shared: Callable[[], object] | None = None):
+    """Coerce a cache policy into an engine ``cache`` argument.
+
+    Accepted policies: an instance of ``cache_type`` (used as given), a
+    bool, ``None``/``"off"`` (disabled), ``"shared"`` (``True`` — the
+    engine substitutes its process-wide cache), ``"private"`` (a fresh
+    in-memory cache) or a path-like string (an on-disk JSON store —
+    must contain a path separator or end in ``.json``, so a mistyped
+    policy name errors instead of silently creating a cache file).
+    """
+    if isinstance(spec, cache_type) or isinstance(spec, bool):
+        return spec
+    if spec is None or spec == "off":
+        return False
+    if spec == "shared":
+        return True if make_shared is None else make_shared()
+    if spec == "private":
+        return cache_type()
+    path = str(spec)
+    if os.sep in path or "/" in path or path.endswith(".json"):
+        return cache_type(path=path)
+    raise UnknownComponentError(
+        kind, spec, ("shared", "private", "off", "<path ending in .json>"))

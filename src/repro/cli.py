@@ -6,26 +6,32 @@ Exposes the whole detection stack without writing Python::
     python -m repro stream recording.wav        # windowed streaming verdicts
     python -m repro bench                       # serving-layer benchmark
     python -m repro bench-similarity            # scoring-backend benchmark
+    python -m repro config show                 # effective detector spec
+    python -m repro config validate cfg.json    # schema-check config files
 
 (Installed as the ``repro`` console script too; ``repro --help`` for the
-full option list.)  ``screen`` and ``stream`` build the paper's default
-DS0+{DS1, GCS, AT} detector via
-:func:`repro.core.bootstrap.default_detector`, fitted on the scored
-dataset of ``--scale`` (default ``tiny``; the first run at a scale
-generates and disk-caches that dataset).  ``--defense transform``
-replaces the auxiliary ASRs with input transformations of the target
-model (``--defense combined`` uses both; see docs/DEFENSES.md);
-``--scorer`` / ``--scoring-backend`` / ``--score-cache`` configure the
-similarity scoring engine (see docs/SCORING.md).  ``bench`` synthesises a
-workload and drives it through the sequential detector, the batched
-pipeline and the micro-batcher, printing the per-stage
-throughput/latency counters from
-:class:`repro.serving.metrics.ServingMetrics`.  ``bench-similarity``
-times the reference vs fast scoring backends and writes the
-machine-readable report to ``BENCH_similarity.json``.
+full option list.)  Every detector-building command constructs through a
+declarative :class:`~repro.specs.DetectorSpec` (see docs/CONFIG.md):
+``--config PATH`` loads a JSON spec file (environment ``REPRO_*``
+variables overlay the file, explicit flags overlay both), and with no
+config the paper's default DS0+{DS1, GCS, AT} system is described by
+flags alone — ``--target`` / ``--auxiliaries`` pick suite members from
+the open ASR registry (plugins included), ``--defense
+transform|combined`` swaps in transformed views of the target (see
+docs/DEFENSES.md), ``--scorer`` / ``--scoring-backend`` /
+``--score-cache`` shape the scoring engine (see docs/SCORING.md), and
+``--scale`` picks the training preset (default ``tiny``; the first run
+at a scale generates and disk-caches that dataset).  ``config show``
+prints the effective spec as JSON — a ready-to-save config file —
+and ``config validate`` schema-checks files, naming each bad field and
+its allowed values.  ``bench`` synthesises a workload and drives it
+through the sequential detector, the batched pipeline and the
+micro-batcher; ``bench-similarity`` times the reference vs fast scoring
+backends and writes ``BENCH_similarity.json``.
 
 Exit status: ``screen`` and ``stream`` exit 1 when anything was flagged
-adversarial (so shell scripts can gate on the verdict), 0 otherwise.
+adversarial (so shell scripts can gate on the verdict), 0 otherwise;
+bad inputs (including invalid configs) exit 2.
 """
 
 from __future__ import annotations
@@ -66,17 +72,37 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", metavar="command")
 
     def add_detector_options(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--scale", default="tiny",
-                         choices=("tiny", "small", "medium", "paper"),
+        # Detector flags default to None so only the ones the user
+        # actually passed overlay the spec (config file / env / built-in
+        # defaults fill the rest); suite choices come from the open ASR
+        # registry, so registered plugins are selectable by name.
+        from repro.asr.registry import available_asr_names
+        from repro.specs import DEFENSE_MODES, SCALE_NAMES
+
+        sub.add_argument("--config", default=None, metavar="PATH",
+                         help="JSON DetectorSpec file (see docs/CONFIG.md); "
+                              "REPRO_* env vars overlay the file, explicit "
+                              "flags overlay both")
+        sub.add_argument("--scale", default=None, choices=SCALE_NAMES,
                          help="scored-dataset scale used to fit the "
-                              "classifier (default: tiny)")
+                              "classifier (default: tiny; with --config, "
+                              "the file's training.scale — null there "
+                              "means REPRO_SCALE or 'small')")
         sub.add_argument("--workers", type=int, default=None,
                          help="transcription worker-pool size "
                               "(default: CPU count; 0 = sequential)")
-        sub.add_argument("--classifier", default="SVM",
+        sub.add_argument("--classifier", default=None, metavar="NAME",
                          help="classifier registry name (default: SVM)")
-        sub.add_argument("--defense", default="multi-asr",
-                         choices=("multi-asr", "transform", "combined"),
+        # No argparse choices= here: the registry also resolves the
+        # parameterised KAL-fs<N> family, so validation happens through
+        # the spec (which names the available systems on a miss).
+        sub.add_argument("--target", default=None, metavar="NAME",
+                         help="target ASR short name (default: DS0; "
+                              f"registered: {', '.join(available_asr_names())})")
+        sub.add_argument("--auxiliaries", default=None, metavar="NAMES",
+                         help="comma-separated auxiliary ASR names from the "
+                              "registry (default: the paper's DS1,GCS,AT)")
+        sub.add_argument("--defense", default=None, choices=DEFENSE_MODES,
                          help="auxiliary-version kind: diverse ASR models "
                               "(multi-asr, the paper's system), input "
                               "transformations of the target model "
@@ -94,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="similarity kernel backend: the encode-once "
                               "fast engine (default) or the paper-faithful "
                               "scalar reference path (bit-identical scores)")
-        sub.add_argument("--score-cache", default="shared", metavar="POLICY",
+        sub.add_argument("--score-cache", default=None, metavar="POLICY",
                          help="pair-score cache: 'shared' (default, "
                               "process-wide), 'private', 'off', or a JSON "
                               "file path for an on-disk store")
@@ -109,15 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
     stream = commands.add_parser(
         "stream", help="screen one WAV as a continuous stream of windows")
     stream.add_argument("wav", help="16-bit mono PCM WAV file")
-    stream.add_argument("--window", type=float, default=2.0,
+    stream.add_argument("--window", type=float, default=None,
                         help="detection window length in seconds (default: 2.0)")
     stream.add_argument("--hop", type=float, default=None,
                         help="hop between window starts in seconds "
                              "(default: window / 2)")
-    stream.add_argument("--trigger", type=int, default=2,
+    stream.add_argument("--trigger", type=int, default=None,
                         help="consecutive adversarial windows that flip the "
                              "stream verdict (default: 2)")
-    stream.add_argument("--release", type=int, default=2,
+    stream.add_argument("--release", type=int, default=None,
                         help="consecutive benign windows that release it "
                              "(default: 2)")
     add_detector_options(stream)
@@ -158,6 +184,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench_sim.add_argument("--json", action="store_true",
                            help="print the JSON report instead of the "
                                 "human-readable summary")
+
+    config = commands.add_parser(
+        "config", help="show the effective detector spec / validate config files")
+    config_actions = config.add_subparsers(dest="config_command",
+                                           metavar="action")
+    show = config_actions.add_parser(
+        "show", help="print the effective DetectorSpec as JSON (config file "
+                     "+ env + flags; ready to save as a config)")
+    add_detector_options(show)
+    validate = config_actions.add_parser(
+        "validate", help="validate JSON config files against the spec schema "
+                         "and the component registries")
+    validate.add_argument("path", nargs="+",
+                          help="JSON DetectorSpec files to check")
     return parser
 
 
@@ -173,29 +213,165 @@ def _save_score_cache(detector) -> None:
         cache.save()
 
 
-def _build_detector(args: argparse.Namespace):
-    from repro.core.bootstrap import default_detector
+def _split_names(value: str | None) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    names = tuple(part.strip() for part in value.split(",") if part.strip())
+    if not names:
+        raise CliError("expected a comma-separated list of names")
+    return names
 
-    transforms = None
-    if getattr(args, "transforms", None):
-        from repro.defenses.transforms import parse_transforms
 
-        if args.defense == "multi-asr":
-            raise CliError("--transforms requires --defense transform "
-                           "or --defense combined")
-        try:
-            transforms = parse_transforms(args.transforms)
-        except ValueError as exc:
-            raise CliError(str(exc)) from exc
+def _reshape_suite(suite, target: str | None, aux_names, defense: str,
+                   transforms: str | None):
+    """Merge suite-shaping flags onto a config file's suite.
+
+    Works on spec values directly (no string round trip): each piece a
+    flag names is replaced, everything else is inherited — the config's
+    target, its plain auxiliary names, its transformed-target specs,
+    and (outside multi-asr mode) its transformed views of non-target
+    members, which have no flag syntax at all.
+    """
+    from repro.defenses.transforms import default_transform_suite
+    from repro.specs import ASRSpec, SuiteSpec, TransformSpec
+
+    target_spec = ASRSpec(target) if target is not None else suite.target
+    if aux_names is not None:
+        plains = tuple(ASRSpec(name) for name in aux_names)
+    else:
+        plains = tuple(m for m in suite.auxiliaries if m.transform is None)
+    if transforms:
+        views = tuple(ASRSpec(target_spec.name, TransformSpec(part.strip()))
+                      for part in transforms.split(",") if part.strip())
+    else:
+        views = tuple(ASRSpec(target_spec.name, m.transform)
+                      for m in suite.auxiliaries
+                      if m.transform is not None
+                      and m.name == suite.target.name)
+    extras = tuple(m for m in suite.auxiliaries
+                   if m.transform is not None and m.name != suite.target.name)
+
+    members: tuple = ()
+    if defense in ("multi-asr", "combined"):
+        if not plains:
+            from repro.asr.registry import default_suite_names
+            plains = tuple(ASRSpec(name) for name in default_suite_names()[1:])
+        members += plains
+    if defense in ("transform", "combined"):
+        if not views:
+            views = tuple(ASRSpec(target_spec.name, TransformSpec(t.spec))
+                          for t in default_transform_suite())
+        members += views
+    if defense != "multi-asr":
+        members += extras
+    return SuiteSpec(target=target_spec, auxiliaries=members)
+
+
+def _implied_defense(suite) -> str:
+    """The defense mode a suite's shape expresses (for flag overlays)."""
+    transformed = any(m.transform is not None for m in suite.auxiliaries)
+    plain = any(m.transform is None for m in suite.auxiliaries)
+    if transformed and plain:
+        return "combined"
+    if transformed:
+        return "transform"
+    return "multi-asr"
+
+
+#: Leaf overlays: (flag attribute, dotted DetectorSpec path).
+_LEAF_FLAGS = (("scale", "training.scale"),
+               ("classifier", "classifier.name"),
+               ("workers", "pipeline.workers"),
+               ("scorer", "scoring.scorer"),
+               ("scoring_backend", "scoring.backend"),
+               ("score_cache", "scoring.cache"))
+
+
+def _detector_spec(args: argparse.Namespace):
+    """The effective :class:`DetectorSpec` for one invocation.
+
+    Precedence: explicit flags > ``REPRO_*`` environment > config file >
+    built-in defaults.  Suite-shaping flags (``--target``/
+    ``--auxiliaries``/``--defense``/``--transforms``) rebuild the suite
+    section as a unit, with unspecified pieces inherited from the config
+    file where expressible (its target, its plain auxiliary names, its
+    transformed-target specs).
+    """
+    from repro.specs import DetectorSpec, InvalidSpecError
+
+    defense = getattr(args, "defense", None)
+    transforms = getattr(args, "transforms", None)
+    auxiliaries = getattr(args, "auxiliaries", None)
+    suite_flags = (getattr(args, "target", None), auxiliaries,
+                   defense, transforms)
+    config_path = getattr(args, "config", None)
+    if transforms and not config_path \
+            and (defense or "multi-asr") == "multi-asr":
+        raise CliError("--transforms requires --defense transform "
+                       "or --defense combined")
+    if auxiliaries and defense == "transform":
+        # Refuse rather than silently drop the requested auxiliaries:
+        # transform mode has no plain members by definition.
+        raise CliError("--auxiliaries conflicts with --defense transform "
+                       "(its auxiliaries are transformed views of the "
+                       "target); use --defense combined for both kinds")
     try:
-        return default_detector(classifier=args.classifier, scale=args.scale,
-                                workers=args.workers, defense=args.defense,
-                                transforms=transforms,
-                                scorer=args.scorer,
-                                scoring_backend=args.scoring_backend,
-                                score_cache=args.score_cache)
-    except KeyError as exc:
-        # Unknown registry name (e.g. a mistyped --classifier or --scorer).
+        if config_path:
+            spec = DetectorSpec.load(config_path)
+            # Without --defense, the mode is implied by the config's
+            # suite shape, so e.g. --transforms alone re-parameterises a
+            # transform-ensemble config instead of erroring; adding
+            # --auxiliaries to a pure transform config implies combined.
+            effective_defense = defense or _implied_defense(spec.suite)
+            if (auxiliaries and not defense
+                    and effective_defense == "transform"):
+                effective_defense = "combined"
+            if transforms and effective_defense == "multi-asr":
+                raise CliError("--transforms requires --defense transform "
+                               "or --defense combined (the config's suite "
+                               "has no transformed members)")
+            if any(value is not None for value in suite_flags):
+                spec = spec.with_value("suite", _reshape_suite(
+                    spec.suite, target=getattr(args, "target", None),
+                    aux_names=_split_names(auxiliaries),
+                    defense=effective_defense, transforms=transforms))
+                # An explicit 'scored' source may no longer cover the
+                # reshaped suite; 'bundle' (and 'auto') are valid for
+                # every suite and are kept as the config wrote them.
+                if spec.training.source == "scored":
+                    spec = spec.with_value("training.source", "auto")
+        else:
+            # The built-in "tiny" scale is a default, not an explicit
+            # flag, so the REPRO_* environment overlays it (and explicit
+            # flags below overlay the environment).
+            spec = DetectorSpec.default(
+                target=getattr(args, "target", None),
+                auxiliaries=_split_names(auxiliaries),
+                defense=defense or "multi-asr", transforms=transforms,
+                scale="tiny").with_env_overlay()
+        for flag, dotted in _LEAF_FLAGS:
+            value = getattr(args, flag, None)
+            if value is not None:
+                spec = spec.with_value(dotted, value)
+        return spec
+    except (InvalidSpecError, OSError) as exc:
+        raise CliError(str(exc)) from exc
+    except (KeyError, ValueError) as exc:
+        # Unknown registry name (e.g. a mistyped transform spec).
+        raise CliError(str(exc)) from exc
+
+
+def _build_detector(args: argparse.Namespace, spec=None):
+    from repro.build import build
+    from repro.specs import InvalidSpecError
+
+    if spec is None:
+        spec = _detector_spec(args)
+    try:
+        return build(spec)
+    except (InvalidSpecError, KeyError, ValueError) as exc:
+        # A bad field, registry name or unreadable cache/config file is
+        # user input, not a defect (json.JSONDecodeError is a ValueError).
         raise CliError(str(exc)) from exc
 
 
@@ -234,17 +410,24 @@ def cmd_screen(args: argparse.Namespace) -> int:
 
 # ------------------------------------------------------------------- stream
 def cmd_stream(args: argparse.Namespace) -> int:
-    from repro.serving.chunker import StreamConfig
+    from dataclasses import replace
+
     from repro.serving.streaming import StreamingDetector
 
+    spec = _detector_spec(args)
+    serving = spec.serving
+    for flag, field in (("window", "window_seconds"), ("hop", "hop_seconds"),
+                        ("trigger", "trigger_windows"),
+                        ("release", "release_windows")):
+        value = getattr(args, flag)
+        if value is not None:
+            serving = replace(serving, **{field: value})
     try:
-        config = StreamConfig(window_seconds=args.window, hop_seconds=args.hop,
-                              trigger_windows=args.trigger,
-                              release_windows=args.release)
+        config = serving.stream_config()
     except ValueError as exc:
         raise CliError(str(exc)) from exc
     clip, = _read_clips([args.wav])
-    detector = _build_detector(args)
+    detector = _build_detector(args, spec=spec)
     streaming = StreamingDetector(detector, config=config)
     result = streaming.detect_stream(clip)
     _save_score_cache(detector)
@@ -410,6 +593,38 @@ def cmd_bench_similarity(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------- config
+def cmd_config(args: argparse.Namespace) -> int:
+    from repro.specs import DetectorSpec, InvalidSpecError
+
+    if args.config_command == "show":
+        spec = _detector_spec(args)
+        try:
+            # The output is advertised as ready to save; a flag typo must
+            # fail here, not after the user reuses the printed config.
+            spec.validate()
+        except InvalidSpecError as exc:
+            raise CliError(str(exc)) from exc
+        print(spec.to_json(), end="")
+        return 0
+    if args.config_command == "validate":
+        failures = 0
+        for path in args.path:
+            try:
+                DetectorSpec.from_json(path).validate()
+            except (InvalidSpecError, OSError) as exc:
+                failures += 1
+                print(f"FAIL {path}: {exc}")
+            else:
+                print(f"ok   {path}")
+        if failures:
+            raise CliError(f"{failures} invalid config file"
+                           f"{'s' if failures != 1 else ''}")
+        return 0
+    print("usage: repro config {show,validate} (see repro config --help)")
+    return 0
+
+
 # --------------------------------------------------------------------- main
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro`` and the ``repro`` script."""
@@ -419,7 +634,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 0
     handlers = {"screen": cmd_screen, "stream": cmd_stream, "bench": cmd_bench,
-                "bench-similarity": cmd_bench_similarity}
+                "bench-similarity": cmd_bench_similarity,
+                "config": cmd_config}
     try:
         return handlers[args.command](args)
     except CliError as exc:

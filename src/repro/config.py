@@ -81,6 +81,11 @@ PAPER = ReproScale(name="paper", n_benign=2400, n_whitebox=1800,
 _PRESETS = {p.name: p for p in (TINY, SMALL, MEDIUM, PAPER)}
 
 
+def scale_names() -> tuple[str, ...]:
+    """Names of the registered scale presets, in size order."""
+    return tuple(_PRESETS)
+
+
 def get_scale(name: str | None = None) -> ReproScale:
     """Resolve a scale preset.
 

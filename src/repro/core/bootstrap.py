@@ -1,115 +1,125 @@
-"""One-call construction of a fitted default detector.
+"""Legacy one-call construction, now a shim over the spec tree.
 
-Every consumer that just wants "the detector from the paper, ready to
-screen audio" — the CLI, the examples, a notebook — repeats the same
-four steps: build the target ASR, build the auxiliaries, load the scored
-dataset for a scale preset, fit the classifier on its score vectors.
-:func:`default_detector` bundles them, for all three defense modes:
+:func:`default_detector` predates the declarative configuration surface
+(:mod:`repro.specs` / :mod:`repro.build`): every capability it grew was
+bolted on as another keyword argument.  The keywords still work — each
+call translates them into a :class:`~repro.specs.DetectorSpec` and
+builds through :func:`repro.build.build`, so the result is identical —
+but new code should construct the spec directly::
 
-* ``multi-asr`` — the paper's system: diverse auxiliary ASR models,
-  classifier fitted on the pre-computed scored dataset.
-* ``transform`` — a :class:`~repro.defenses.ensemble.TransformEnsembleDetector`
-  whose auxiliaries are transformed views of the target model, fitted on
-  fresh scores from the audio bundle.
-* ``combined`` — both auxiliary kinds in one suite.
+    from repro import DetectorSpec, build
 
-The scored dataset and the audio bundle are disk-cached under
-``.repro_cache/`` (see :mod:`repro.datasets.scores`), so after the first
-call at a given scale this is cheap: the ASR simulators come from the
-registry cache and the classifier fits on a few hundred score vectors.
+    detector = build(DetectorSpec.default(scale="tiny"))       # the paper's system
+    detector = build("my_config.json")                          # or from a file
+
+Passing any keyword argument emits a :class:`DeprecationWarning`;
+``docs/CONFIG.md`` documents the replacement for each one.
 """
 
 from __future__ import annotations
 
+import warnings
+
+from repro.asr.registry import default_suite_names
 from repro.core.detector import MVPEarsDetector
-from repro.similarity.engine import SimilarityEngine, resolve_score_cache
+from repro.pipeline.cache import TranscriptionCache
+from repro.similarity.score_cache import PairScoreCache
+from repro.similarity.scorer import SimilarityScorer
+from repro.specs import DEFENSE_MODES, DetectorSpec  # noqa: F401 - re-export
 
-#: Auxiliary suite of the paper's headline system DS0+{DS1, GCS, AT}.
-DEFAULT_AUXILIARIES: tuple[str, ...] = ("DS1", "GCS", "AT")
+#: Auxiliary suite of the paper's headline system DS0+{DS1, GCS, AT},
+#: derived from the ASR registry's default-suite registrations.
+DEFAULT_AUXILIARIES: tuple[str, ...] = default_suite_names()[1:]
 
-#: The defense modes :func:`default_detector` can build.
-DEFENSE_MODES: tuple[str, ...] = ("multi-asr", "transform", "combined")
+_UNSET = object()
 
 
-def default_detector(target: str = "DS0",
-                     auxiliaries: tuple[str, ...] = DEFAULT_AUXILIARIES,
-                     classifier: str = "SVM",
-                     scale: str | None = None,
-                     workers: int | None = None,
-                     cache=True,
-                     defense: str = "multi-asr",
-                     transforms=None,
-                     scorer: str | None = None,
-                     scoring_backend: str | None = None,
-                     score_cache="shared") -> MVPEarsDetector:
-    """Build and fit a default detection system.
+def default_detector(target=_UNSET, auxiliaries=_UNSET, classifier=_UNSET,
+                     scale=_UNSET, workers=_UNSET, cache=_UNSET,
+                     defense=_UNSET, transforms=_UNSET, scorer=_UNSET,
+                     scoring_backend=_UNSET,
+                     score_cache=_UNSET) -> MVPEarsDetector:
+    """Build and fit a default detection system (legacy keyword surface).
+
+    .. deprecated::
+        Construct a :class:`~repro.specs.DetectorSpec` and call
+        :func:`repro.build.build` instead; every keyword below maps to
+        one spec field (see ``docs/CONFIG.md``).  A bare
+        ``default_detector()`` is equivalent to
+        ``build(DetectorSpec.default())``.
 
     Args:
-        target: target ASR short name (the model under protection).
-        auxiliaries: auxiliary short names; must be drawn from the scored
-            dataset's auxiliary order (``DS1``, ``GCS``, ``AT``).
-            Ignored by ``defense="transform"``.
-        classifier: classifier registry name (default: the paper's SVM).
-        scale: scored-dataset scale preset used for training
-            (``tiny``/``small``/``medium``/``paper``; ``None`` reads
-            ``REPRO_SCALE``, defaulting to ``small``).
-        workers: transcription worker-pool size (``None``: CPU count,
-            ``0``: the sequential path).
-        cache: transcription cache policy, passed through to the engine.
-        defense: ``multi-asr`` (the paper's system), ``transform``
-            (transformation ensemble only) or ``combined`` (both).
-        transforms: transformation ensemble for the ``transform`` and
-            ``combined`` modes (default:
-            :func:`~repro.defenses.transforms.default_transform_suite`).
-        scorer: similarity method name (default: the paper's
-            ``PE_JaroWinkler``).
-        scoring_backend: scoring backend name (``"fast"`` — the default —
-            or ``"reference"``, the paper-faithful scalar path).
-        score_cache: pair-score cache policy — ``"shared"`` (default),
-            ``"private"``, ``"off"``, a file path, a bool, or a
-            :class:`~repro.similarity.score_cache.PairScoreCache` (see
-            :func:`~repro.similarity.engine.resolve_score_cache`).
+        target: target ASR short name (spec: ``suite.target``).
+        auxiliaries: auxiliary short names (spec: ``suite.auxiliaries``).
+        classifier: classifier registry name (spec: ``classifier.name``).
+        scale: scored-dataset scale preset (spec: ``training.scale``).
+        workers: transcription worker-pool size (spec:
+            ``pipeline.workers``).
+        cache: transcription cache policy — a policy string, bool, or a
+            :class:`TranscriptionCache` instance (spec:
+            ``pipeline.cache``).
+        defense: ``multi-asr`` / ``transform`` / ``combined`` (spec:
+            the shape of ``suite.auxiliaries``).
+        transforms: transformation ensemble for the transform-based
+            modes — spec strings or built ``Transform`` instances
+            (spec: ``suite.auxiliaries[i].transform``).
+        scorer: similarity method name or a
+            :class:`~repro.similarity.scorer.SimilarityScorer` (spec:
+            ``scoring.scorer``).
+        scoring_backend: scoring backend name (spec: ``scoring.backend``).
+        score_cache: pair-score cache policy — a policy string, bool, or
+            a :class:`PairScoreCache` instance (spec: ``scoring.cache``).
 
     Returns:
         A fitted :class:`~repro.core.detector.MVPEarsDetector` (a
         :class:`~repro.defenses.ensemble.TransformEnsembleDetector` for
         the transform-based modes).
     """
-    if defense not in DEFENSE_MODES:
-        raise KeyError(
-            f"unknown defense mode {defense!r}; available: {list(DEFENSE_MODES)}")
-    # Imported lazily: repro.datasets itself builds on repro.core.
-    from repro.asr.registry import build_asr
-    from repro.datasets.scores import load_scored_dataset
+    from repro.build import build
 
-    scoring = SimilarityEngine(scorer=scorer, backend=scoring_backend,
-                               cache=resolve_score_cache(score_cache))
-    if defense == "multi-asr":
-        detector = MVPEarsDetector(
-            build_asr(target),
-            [build_asr(name) for name in auxiliaries],
-            classifier=classifier,
-            workers=workers,
-            cache=cache,
-            scoring=scoring,
-        )
-        dataset = load_scored_dataset(scale)
-        features, labels = dataset.features_for(
-            tuple(auxiliaries), method=scoring.scorer.name, scoring=scoring)
-        return detector.fit_features(features, labels)
+    passed = {name: value for name, value in (
+        ("target", target), ("auxiliaries", auxiliaries),
+        ("classifier", classifier), ("scale", scale), ("workers", workers),
+        ("cache", cache), ("defense", defense), ("transforms", transforms),
+        ("scorer", scorer), ("scoring_backend", scoring_backend),
+        ("score_cache", score_cache)) if value is not _UNSET}
+    if passed:
+        warnings.warn(
+            f"default_detector({', '.join(sorted(passed))}=...) keywords are "
+            f"deprecated; build a DetectorSpec and call repro.build() "
+            f"(see docs/CONFIG.md)", DeprecationWarning, stacklevel=2)
 
-    from repro.datasets.builder import load_standard_bundle
-    from repro.defenses.ensemble import TransformEnsembleDetector
+    overrides: dict = {}
+    spec_kwargs: dict = {}
+    for name in ("target", "classifier", "scale", "workers", "defense",
+                 "scoring_backend"):
+        if name in passed:
+            spec_kwargs[name] = passed[name]
+    if "auxiliaries" in passed:
+        spec_kwargs["auxiliaries"] = tuple(passed["auxiliaries"])
 
-    asr_auxiliaries = ([build_asr(name) for name in auxiliaries]
-                       if defense == "combined" else [])
-    detector = TransformEnsembleDetector(
-        build_asr(target),
-        transforms=transforms,
-        asr_auxiliaries=asr_auxiliaries,
-        classifier=classifier,
-        workers=workers,
-        cache=cache,
-        scoring=scoring,
-    )
-    return detector.fit_bundle(load_standard_bundle(scale))
+    if "cache" in passed:
+        value = passed["cache"]
+        if isinstance(value, TranscriptionCache):
+            overrides["cache"] = value
+        elif isinstance(value, (bool, type(None))):
+            spec_kwargs["cache"] = "shared" if value else "off"
+        else:
+            spec_kwargs["cache"] = value
+    if "score_cache" in passed:
+        value = passed["score_cache"]
+        if isinstance(value, (PairScoreCache, bool, type(None))):
+            overrides["score_cache"] = value
+        else:
+            spec_kwargs["score_cache"] = value
+    if "scorer" in passed:
+        value = passed["scorer"]
+        if isinstance(value, SimilarityScorer):
+            overrides["scorer"] = value
+        elif value is not None:
+            spec_kwargs["scorer"] = value
+    from repro.build import default_spec_with_transforms
+    spec, transform_overrides = default_spec_with_transforms(
+        passed.get("transforms"), **spec_kwargs)
+    overrides.update(transform_overrides)
+    return build(spec, overrides=overrides)

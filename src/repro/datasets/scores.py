@@ -27,14 +27,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.asr.registry import build_asr
+from repro.asr.registry import default_suite_names
 from repro.config import DEFAULT_SEED, ReproScale, cache_dir, get_scale
 from repro.datasets.builder import DatasetBundle, load_standard_bundle
 from repro.pipeline.engine import TranscriptionEngine
 from repro.similarity.engine import SimilarityEngine
+from repro.specs import SuiteSpec
 
-#: Auxiliary ASR order used by every experiment (matches the paper).
-AUXILIARY_ORDER: tuple[str, ...] = ("DS1", "GCS", "AT")
+#: Target and auxiliary order of the *default* scored dataset (the
+#: paper's suite, snapshotted from the ASR registry at import).  These
+#: are what the cached artefacts under ``.repro_cache/`` actually
+#: contain — a plugin registered later can never grow a column in them.
+SCORED_TARGET: str = default_suite_names()[0]
+AUXILIARY_ORDER: tuple[str, ...] = default_suite_names()[1:]
 
 
 @dataclass
@@ -51,8 +56,12 @@ class ScoredDataset:
     auxiliary_texts: dict[str, list[str]]
     #: similarity method used for :attr:`scores`.
     method: str = "PE_JaroWinkler"
-    #: per-sample score vectors in :data:`AUXILIARY_ORDER`, shape (n, 3).
+    #: per-sample score vectors in :attr:`auxiliary_order`, shape (n, k).
     scores: np.ndarray = field(default_factory=lambda: np.zeros((0, 3)))
+    #: column order of :attr:`scores` (defaults to the paper's suite;
+    #: datasets computed for a custom :class:`SuiteSpec` carry their own).
+    auxiliary_order: tuple[str, ...] = field(
+        default_factory=lambda: AUXILIARY_ORDER)
 
     # ------------------------------------------------------------ selection
     def __len__(self) -> int:
@@ -84,8 +93,14 @@ class ScoredDataset:
         """
         mask = self.mask_for(kinds)
         labels = self.labels[mask]
+        for name in auxiliaries:
+            if name not in self.auxiliary_order:
+                from repro.errors import UnknownComponentError
+                raise UnknownComponentError("scored-dataset auxiliary", name,
+                                            self.auxiliary_order)
         if method is None or method == self.method:
-            columns = [AUXILIARY_ORDER.index(name) for name in auxiliaries]
+            columns = [self.auxiliary_order.index(name)
+                       for name in auxiliaries]
             return self.scores[mask][:, columns], labels
         # Recomputing under another method is one batch engine call: the
         # pair-score cache makes Table III's systems (which share
@@ -116,8 +131,14 @@ class ScoredDataset:
 def compute_scored_dataset(bundle: DatasetBundle,
                            method: str = "PE_JaroWinkler",
                            include_nontargeted: bool = True,
-                           workers: int | None = None) -> ScoredDataset:
-    """Transcribe every sample with all four ASRs and compute scores.
+                           workers: int | None = None,
+                           suite: SuiteSpec | None = None) -> ScoredDataset:
+    """Transcribe every sample with a full ASR suite and compute scores.
+
+    The suite defaults to the paper's (target ``DS0``, auxiliaries in
+    :data:`AUXILIARY_ORDER`); pass a
+    :class:`~repro.specs.SuiteSpec` to score any other suite — plugins
+    and transformed views included — keyed by each member's short name.
 
     Recognition fans out across a
     :class:`~repro.pipeline.engine.TranscriptionEngine` worker pool and
@@ -125,8 +146,10 @@ def compute_scored_dataset(bundle: DatasetBundle,
     (overhead, ablations, examples) that replay the same clips never
     re-decode them.  Pass ``workers=0`` for the sequential path.
     """
-    target_asr = build_asr("DS0")
-    auxiliaries = [build_asr(name) for name in AUXILIARY_ORDER]
+    from repro.build import build_suite
+    target_asr, auxiliaries = build_suite(
+        suite if suite is not None else SuiteSpec())
+    aux_names = [asr.short_name for asr in auxiliaries]
     scoring = SimilarityEngine(scorer=method)
 
     samples = list(bundle.all_samples)
@@ -137,14 +160,15 @@ def compute_scored_dataset(bundle: DatasetBundle,
     kinds = [sample.kind for sample in samples]
     with TranscriptionEngine(target_asr, auxiliaries, workers=workers) as engine:
         suites = engine.transcribe_batch([sample.waveform for sample in samples])
-    target_texts = [suite.target.text for suite in suites]
-    auxiliary_texts = {name: [suite.auxiliaries[name].text for suite in suites]
-                       for name in AUXILIARY_ORDER}
+    target_texts = [suite_t.target.text for suite_t in suites]
+    auxiliary_texts = {name: [suite_t.auxiliaries[name].text
+                              for suite_t in suites]
+                       for name in aux_names}
     scores = (scoring.score_suites(suites, auxiliaries)
-              if samples else np.empty((0, len(AUXILIARY_ORDER))))
+              if samples else np.empty((0, len(aux_names))))
     return ScoredDataset(labels=labels, kinds=kinds, target_texts=target_texts,
                          auxiliary_texts=auxiliary_texts, method=method,
-                         scores=scores)
+                         scores=scores, auxiliary_order=tuple(aux_names))
 
 
 # -------------------------------------------------------------- disk caching
@@ -162,6 +186,7 @@ def _to_json(dataset: ScoredDataset) -> dict:
         "auxiliary_texts": dataset.auxiliary_texts,
         "method": dataset.method,
         "scores": dataset.scores.tolist(),
+        "auxiliary_order": list(dataset.auxiliary_order),
     }
 
 
@@ -173,6 +198,10 @@ def _from_json(payload: dict) -> ScoredDataset:
         auxiliary_texts={k: list(v) for k, v in payload["auxiliary_texts"].items()},
         method=payload["method"],
         scores=np.array(payload["scores"], dtype=np.float64),
+        # Cache files written before auxiliary_order existed hold the
+        # paper's suite.
+        auxiliary_order=tuple(payload.get("auxiliary_order",
+                                          AUXILIARY_ORDER)),
     )
 
 

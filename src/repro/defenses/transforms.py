@@ -30,6 +30,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.audio.waveform import Waveform
+from repro.errors import UnknownComponentError
 
 
 class Transform(ABC):
@@ -45,6 +46,12 @@ class Transform(ABC):
 
     #: Unique, parameter-bearing identifier, e.g. ``"quantize-8"``.
     name: str = "transform"
+
+    #: Compact parse spec that reconstructs this transform via
+    #: :func:`parse_transform` (e.g. ``"quantize:8"``), or ``None`` when
+    #: the configuration has no spec-syntax representation.  This is what
+    #: a :class:`~repro.specs.TransformSpec` serialises.
+    spec: str | None = None
 
     @abstractmethod
     def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
@@ -75,6 +82,7 @@ class BitDepthQuantize(Transform):
             raise ValueError("bits must be in [2, 16]")
         self.bits = bits
         self.name = f"quantize-{bits}"
+        self.spec = f"quantize:{bits}"
 
     def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
         levels = float(2 ** (self.bits - 1))
@@ -95,6 +103,7 @@ class DownUpsample(Transform):
             raise ValueError("factor must be >= 2")
         self.factor = factor
         self.name = f"resample-{factor}"
+        self.spec = f"resample:{factor}"
 
     def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
         n = samples.shape[0]
@@ -113,6 +122,7 @@ class LowPassFilter(Transform):
             raise ValueError("cutoff_hz must be positive")
         self.cutoff_hz = float(cutoff_hz)
         self.name = f"lowpass-{self.cutoff_hz:g}"
+        self.spec = f"lowpass:{self.cutoff_hz:g}"
 
     def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
         n = samples.shape[0]
@@ -137,6 +147,7 @@ class MedianFilter(Transform):
             raise ValueError("width must be an odd integer >= 3")
         self.width = width
         self.name = f"median-{width}"
+        self.spec = f"median:{width}"
 
     def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
         n = samples.shape[0]
@@ -163,6 +174,9 @@ class NoiseFlood(Transform):
         self.seed = int(seed)
         self.name = (f"noise-{snr_db:g}" if self.seed == 0
                      else f"noise-{snr_db:g}-s{self.seed}")
+        # A non-default seed has no compact-spec syntax; such a transform
+        # works everywhere except inside a serialisable spec tree.
+        self.spec = f"noise:{snr_db:g}" if self.seed == 0 else None
 
     def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
         n = samples.shape[0]
@@ -189,6 +203,7 @@ class AmplitudeClip(Transform):
             raise ValueError("fraction must be in (0, 1)")
         self.fraction = fraction
         self.name = f"clip-{fraction:g}"
+        self.spec = f"clip:{fraction:g}"
 
     def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
         peak = float(np.max(np.abs(samples))) if samples.size else 0.0
@@ -206,6 +221,8 @@ class Compose(Transform):
             raise ValueError("Compose needs at least one transform")
         self.transforms = list(transforms)
         self.name = "+".join(t.name for t in self.transforms)
+        parts = [t.spec for t in self.transforms]
+        self.spec = "+".join(parts) if all(parts) else None
 
     def apply_samples(self, samples: np.ndarray, sample_rate: int) -> np.ndarray:
         for transform in self.transforms:
@@ -239,8 +256,7 @@ def parse_transform(spec: str) -> Transform:
     kind, _, argument = spec.partition(":")
     kind = kind.strip().lower()
     if kind not in TRANSFORM_SPECS:
-        raise ValueError(
-            f"unknown transform {kind!r}; available: {sorted(TRANSFORM_SPECS)}")
+        raise UnknownComponentError("transform", kind, TRANSFORM_SPECS)
     factory, parse_arg = TRANSFORM_SPECS[kind]
     if not argument:
         return factory()

@@ -1,0 +1,42 @@
+"""Shared error types for the component registries.
+
+Every pluggable surface of the library — ASR systems, classifiers,
+similarity methods, scoring backends, cache policies, defense modes —
+resolves string names through a registry.  Before this module each
+registry raised its own mix of ``KeyError`` and ``ValueError``, so a
+caller screening user input (the CLI, a config validator) had to know
+which registry throws what.  :class:`UnknownComponentError` unifies
+them: one exception type that always names the component *kind*, the
+bad name, and the names that would have worked.
+
+The class subclasses both ``ValueError`` (its primary identity — a bad
+value was supplied) and ``KeyError`` (what several registries raised
+historically), so existing ``except KeyError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class UnknownComponentError(ValueError, KeyError):
+    """A registry lookup failed: no component of this kind has that name.
+
+    Attributes:
+        kind: what was being looked up (``"ASR system"``,
+            ``"classifier"``, ``"similarity method"``, ...).
+        name: the name that failed to resolve.
+        available: the names that would have resolved, sorted.
+    """
+
+    def __init__(self, kind: str, name: object, available: Iterable[str]):
+        self.kind = kind
+        self.name = name
+        self.available = tuple(sorted(available))
+        super().__init__(
+            f"unknown {kind} {name!r}; available: {list(self.available)}")
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message (quoting it); report
+        # the plain sentence instead.
+        return self.args[0]

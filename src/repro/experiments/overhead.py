@@ -19,15 +19,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.asr.registry import build_asr
-from repro.core.detector import MVPEarsDetector
+from repro.build import build
 from repro.datasets.builder import DatasetBundle
 from repro.datasets.scores import ScoredDataset
 from repro.experiments.runner import ExperimentTable, add_timing_rows
-from repro.pipeline.cache import TranscriptionCache
 from repro.pipeline.detection import DetectionPipeline
-from repro.similarity.engine import SimilarityEngine
-from repro.similarity.score_cache import PairScoreCache
+from repro.specs import (
+    ASRSpec,
+    ClassifierSpec,
+    DetectorSpec,
+    PipelineSpec,
+    ScoringSpec,
+    SuiteSpec,
+)
 
 
 def run_overhead_measurement(bundle: DatasetBundle, dataset: ScoredDataset,
@@ -48,16 +52,16 @@ def run_overhead_measurement(bundle: DatasetBundle, dataset: ScoredDataset,
             default everywhere — or ``"reference"``, the paper-faithful
             scalar path).
     """
-    target_asr = build_asr("DS0")
-    auxiliary = build_asr("DS1")
-    # Fresh private caches: overhead numbers must reflect real decoding
-    # and scoring, not hits left behind by earlier experiments in the
-    # same process.
-    detector = MVPEarsDetector(target_asr, [auxiliary], classifier=classifier_name,
-                               workers=workers, cache=TranscriptionCache(),
-                               scoring=SimilarityEngine(
-                                   backend=scoring_backend,
-                                   cache=PairScoreCache()))
+    # Private caches: overhead numbers must reflect real decoding and
+    # scoring, not hits left behind by earlier experiments in the same
+    # process.  The system under measurement, as a declarative spec:
+    spec = DetectorSpec(
+        suite=SuiteSpec(target=ASRSpec("DS0"), auxiliaries=(ASRSpec("DS1"),)),
+        scoring=ScoringSpec(backend=scoring_backend, cache="private"),
+        classifier=ClassifierSpec(classifier_name),
+        pipeline=PipelineSpec(workers=workers, cache="private"))
+    detector = build(spec, fit=False)
+    target_asr = detector.target_asr
     features, labels = dataset.features_for(("DS1",))
     detector.fit_features(features, labels)
 

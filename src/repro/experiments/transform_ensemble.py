@@ -16,12 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.asr.registry import build_asr
+from repro.build import build, default_spec_with_transforms
 from repro.config import DEFAULT_SEED, ReproScale
-from repro.core.bootstrap import DEFAULT_AUXILIARIES
 from repro.core.detector import MVPEarsDetector
 from repro.datasets.builder import load_standard_bundle
-from repro.defenses.ensemble import TransformEnsembleDetector
 from repro.defenses.transforms import Transform
 from repro.experiments.runner import ExperimentTable
 from repro.ml.model_selection import train_test_split
@@ -30,18 +28,15 @@ from repro.ml.model_selection import train_test_split
 def _defense_systems(classifier: str,
                      transforms: list[Transform] | None,
                      workers: int | None) -> dict[str, MVPEarsDetector]:
-    target = build_asr("DS0")
-    asr_auxiliaries = [build_asr(name) for name in DEFAULT_AUXILIARIES]
-    return {
-        "transform": TransformEnsembleDetector(
-            target, transforms=transforms, classifier=classifier,
-            workers=workers),
-        "multi-asr": MVPEarsDetector(
-            target, asr_auxiliaries, classifier=classifier, workers=workers),
-        "combined": TransformEnsembleDetector(
-            target, transforms=transforms, asr_auxiliaries=asr_auxiliaries,
-            classifier=classifier, workers=workers),
-    }
+    # All three systems as declarative specs over one shared target
+    # (fitting happens on the experiment's own split, so fit=False).
+    systems: dict[str, MVPEarsDetector] = {}
+    for mode in ("transform", "multi-asr", "combined"):
+        spec, overrides = default_spec_with_transforms(
+            transforms if mode != "multi-asr" else None,
+            defense=mode, classifier=classifier, workers=workers)
+        systems[mode] = build(spec, fit=False, overrides=overrides)
+    return systems
 
 
 def run_transform_ensemble_comparison(

@@ -64,6 +64,20 @@ def get_shared_cache() -> TranscriptionCache:
                               path=os.environ.get("REPRO_TRANSCRIPTION_CACHE"))
 
 
+def resolve_transcription_cache(spec) -> TranscriptionCache | bool:
+    """Coerce a cache policy into an engine ``cache`` argument.
+
+    The policy surface (``"shared"``/``"private"``/``"off"``/JSON path,
+    a bool, or a :class:`TranscriptionCache` instance) is shared with
+    :func:`repro.similarity.engine.resolve_score_cache` — see
+    :func:`repro.caching.resolve_cache_policy`.  This is what
+    :class:`~repro.specs.PipelineSpec`'s ``cache`` field feeds through.
+    """
+    from repro.caching import resolve_cache_policy
+    return resolve_cache_policy(spec, TranscriptionCache,
+                                "transcription-cache policy")
+
+
 @dataclass(frozen=True)
 class SuiteTranscription:
     """One waveform transcribed by the whole ASR suite.

@@ -92,6 +92,24 @@ class MicroBatcher:
         self._closed = False
         self._thread: threading.Thread | None = None
 
+    @classmethod
+    def from_spec(cls, spec, pipeline,
+                  metrics: ServingMetrics | None = None) -> "MicroBatcher":
+        """A batcher configured from a spec's ``serving`` section.
+
+        ``spec`` is anything :func:`repro.build.resolve_spec` accepts (a
+        :class:`~repro.specs.DetectorSpec`, dict or config path); only
+        ``serving.max_batch_size`` / ``serving.max_latency_seconds`` are
+        read — the pipeline is passed in so callers control detector
+        reuse (or use :func:`repro.build.build_batcher` for the whole
+        stack in one call).
+        """
+        from repro.build import resolve_spec
+        serving = resolve_spec(spec).serving
+        return cls(pipeline, max_batch_size=serving.max_batch_size,
+                   max_latency_seconds=serving.max_latency_seconds,
+                   metrics=metrics)
+
     # ------------------------------------------------------------ lifecycle
     def _ensure_thread(self) -> None:
         if self._thread is None:

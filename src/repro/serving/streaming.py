@@ -212,6 +212,23 @@ class StreamingDetector:
         self.pipeline = pipeline
         self.config = config or StreamConfig()
 
+    @classmethod
+    def from_spec(cls, spec, detector=None) -> "StreamingDetector":
+        """Build a streaming detector from a declarative spec.
+
+        ``spec`` is anything :func:`repro.build.resolve_spec` accepts (a
+        :class:`~repro.specs.DetectorSpec`, dict or config path).  The
+        windowing/hysteresis config comes from ``spec.serving``; the
+        detector is built (and fitted) from the spec unless one is
+        passed in.  :func:`repro.build.build_streaming` is the
+        convenience wrapper.
+        """
+        from repro.build import build, resolve_spec
+        spec = resolve_spec(spec)
+        if detector is None:
+            detector = build(spec)
+        return cls(detector, config=spec.serving.stream_config())
+
     def session(self) -> StreamSession:
         """A fresh incremental session (one per concurrent stream)."""
         return StreamSession(self.pipeline, self.config)

@@ -35,6 +35,7 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.errors import UnknownComponentError
 from repro.similarity.kernels import (
     cosine_from_counts,
     jaccard_from_sets,
@@ -232,9 +233,8 @@ def get_scoring_backend(name: str = DEFAULT_SCORING_BACKEND) -> ScoringBackend:
     try:
         return _backend_instance(name)
     except KeyError:
-        raise KeyError(
-            f"unknown scoring backend {name!r}; "
-            f"available: {sorted(_BACKEND_FACTORIES)}") from None
+        raise UnknownComponentError("scoring backend", name,
+                                    scoring_backend_names()) from None
 
 
 # ------------------------------------------------------------- shared cache
@@ -255,28 +255,15 @@ def get_shared_score_cache() -> PairScoreCache:
 def resolve_score_cache(spec) -> PairScoreCache | bool:
     """Coerce a cache spec into a :class:`SimilarityEngine` cache argument.
 
-    Accepted specs: a :class:`PairScoreCache` (used as given), a bool,
-    ``None``/``"off"`` (disabled), ``"shared"`` (the process-wide cache),
-    ``"private"`` (a fresh in-memory cache) or a path-like string (an
-    on-disk JSON store — must contain a path separator or end in
-    ``.json``, so a mistyped policy name errors instead of silently
-    creating a cache file).  This is what the CLI's ``--score-cache``
-    flag and :func:`repro.core.bootstrap.default_detector` feed through.
+    The policy surface (``"shared"``/``"private"``/``"off"``/JSON path,
+    a bool, or a :class:`PairScoreCache` instance) is shared with
+    :func:`repro.pipeline.engine.resolve_transcription_cache` — see
+    :func:`repro.caching.resolve_cache_policy`.  This is what the CLI's
+    ``--score-cache`` flag and :class:`~repro.specs.ScoringSpec`'s
+    ``cache`` field feed through.
     """
-    if isinstance(spec, PairScoreCache) or isinstance(spec, bool):
-        return spec
-    if spec is None or spec == "off":
-        return False
-    if spec == "shared":
-        return True
-    if spec == "private":
-        return PairScoreCache()
-    path = str(spec)
-    if os.sep in path or "/" in path or path.endswith(".json"):
-        return PairScoreCache(path=path)
-    raise KeyError(
-        f"unknown score-cache policy {spec!r}; expected 'shared', 'private', "
-        f"'off', or an on-disk JSON path (ending in .json)")
+    from repro.caching import resolve_cache_policy
+    return resolve_cache_policy(spec, PairScoreCache, "score-cache policy")
 
 
 # -------------------------------------------------------------------- engine

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import UnknownComponentError
 from repro.similarity.phonetic import phonetic_encode
 from repro.similarity.string_metrics import (
     cosine_similarity,
@@ -88,11 +89,15 @@ SIMILARITY_METHODS: tuple[str, ...] = (
 DEFAULT_METHOD = "PE_JaroWinkler"
 
 
+def available_method_names() -> tuple[str, ...]:
+    """Sorted names of every registered similarity method."""
+    return tuple(sorted(_METHODS))
+
+
 def get_scorer(name: str = DEFAULT_METHOD) -> SimilarityScorer:
     """Return the scorer registered under ``name``."""
     try:
         return _METHODS[name]
     except KeyError:
-        raise KeyError(
-            f"unknown similarity method {name!r}; available: {sorted(_METHODS)}"
-        ) from None
+        raise UnknownComponentError("similarity method", name,
+                                    available_method_names()) from None
