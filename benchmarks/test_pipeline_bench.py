@@ -1,0 +1,37 @@
+"""Benchmark E-PIPE: the end-to-end recognition pipeline's perf trajectory.
+
+Runs the same measurement as ``python -m repro bench-pipeline`` (which
+writes ``BENCH_pipeline.json`` — CI uploads it as an artifact) and
+asserts the vectorized front end's two perf contracts:
+
+* the fast path (batched front end + acoustic scoring + vectorized
+  decoder search) is no slower than the seed library's per-clip
+  reference path even on a cold feature cache, and
+* a warm :class:`~repro.dsp.feature_cache.FeatureCache` is no slower
+  than the reference path either (in practice it is much faster — the
+  front end never runs — but the gate only pins "never a regression").
+
+Parity is asserted exactly: the fast path must produce *bit-identical*
+transcriptions (text, phonemes and frame labels), so a speedup that
+changes any verdict is a defect, not a win.
+"""
+
+import json
+
+from repro.pipeline.bench import run_pipeline_benchmark
+
+
+def test_pipeline_benchmark(benchmark, tmp_path):
+    report = benchmark.pedantic(
+        run_pipeline_benchmark,
+        kwargs=dict(n_clips=6, repeats=3),
+        rounds=1, iterations=1)
+    out = tmp_path / "BENCH_pipeline.json"
+    out.write_text(json.dumps(report, indent=2))
+    print()
+    print(json.dumps(report, indent=2))
+
+    assert report["parity_mismatches"] == 0
+    assert report["cold"]["speedup"] >= 1.0
+    assert report["warm"]["speedup"] >= 1.0
+    assert report["feature_cache"]["hit_rate"] > 0.0

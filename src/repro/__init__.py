@@ -5,8 +5,9 @@ the declarative spec tree and the ``repro.build(spec)`` entry points
 (see ``docs/CONFIG.md``), the detector and its batched pipeline, the
 serving layer (streaming detection, micro-batching, metrics), the
 similarity scoring engine (pluggable backends + pair-score cache, see
-``docs/SCORING.md``), the open ASR registry, the attacks, and the
-waveform value type.  Everything else lives in the subpackages and is
+``docs/SCORING.md``), the front-end feature engine (pluggable DSP
+backends + content-hash feature cache, see ``docs/FEATURES.md``), the
+open ASR registry, the attacks, and the waveform value type.  Everything else lives in the subpackages and is
 considered internal (see ``docs/ARCHITECTURE.md``).
 
 Note: the ``build`` name is the *function* (``repro.build(spec)``); the
@@ -29,6 +30,16 @@ from repro.core.detector import DetectionResult, MVPEarsDetector
 from repro.errors import UnknownComponentError
 from repro.defenses.ensemble import TransformedASR, TransformEnsembleDetector
 from repro.defenses.transforms import Transform, default_transform_suite, parse_transforms
+from repro.dsp.engine import (
+    FeatureEngine,
+    feature_backend_names,
+    get_feature_backend,
+    get_shared_feature_cache,
+    register_feature_backend,
+    resolve_feature_cache,
+)
+from repro.dsp.feature_cache import FeatureCache, FeatureCacheStats
+from repro.pipeline.bench import run_pipeline_benchmark
 from repro.pipeline.cache import TranscriptionCache
 from repro.pipeline.detection import BatchDetectionResult, DetectionPipeline
 from repro.pipeline.engine import TranscriptionEngine
@@ -52,6 +63,7 @@ from repro.specs import (
     ASRSpec,
     ClassifierSpec,
     DetectorSpec,
+    FeaturesSpec,
     InvalidSpecError,
     PipelineSpec,
     ScoringSpec,
@@ -74,6 +86,7 @@ __all__ = [
     "ASRSpec",
     "ClassifierSpec",
     "DetectorSpec",
+    "FeaturesSpec",
     "InvalidSpecError",
     "PipelineSpec",
     "ScoringSpec",
@@ -93,6 +106,15 @@ __all__ = [
     "TransformEnsembleDetector",
     "default_transform_suite",
     "parse_transforms",
+    "FeatureEngine",
+    "FeatureCache",
+    "FeatureCacheStats",
+    "feature_backend_names",
+    "get_feature_backend",
+    "get_shared_feature_cache",
+    "register_feature_backend",
+    "resolve_feature_cache",
+    "run_pipeline_benchmark",
     "TranscriptionCache",
     "BatchDetectionResult",
     "DetectionPipeline",

@@ -125,6 +125,29 @@ class TemplateAcousticModel:
         log_norm = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
         return shifted - log_norm
 
+    def log_posteriors_batch(self,
+                             features_list: list[np.ndarray]) -> list[np.ndarray]:
+        """Log posteriors for many clips' feature matrices in one pass.
+
+        Stacks the clips' frames and scores them together: every stage
+        (the einsum distance contraction, the per-row max-shift and the
+        per-row log-sum-exp) is row-independent, so the split results are
+        bit-identical to per-clip :meth:`log_posteriors` calls — pinned
+        by ``tests/test_dsp_vectorized.py``.
+        """
+        self._require_fit()
+        if not features_list:
+            return []
+        counts = [np.asarray(f).shape[0] for f in features_list]
+        stacked = np.concatenate(
+            [np.asarray(f, dtype=np.float64) for f in features_list], axis=0)
+        scored = self.log_posteriors(stacked)
+        out, start = [], 0
+        for count in counts:
+            out.append(scored[start:start + count])
+            start += count
+        return out
+
     def posteriors(self, features: np.ndarray) -> np.ndarray:
         """Softmax posteriors per frame."""
         return np.exp(self.log_posteriors(features))

@@ -52,6 +52,12 @@ class ASRSystem(ABC):
     short_name: str = "ASR"
     #: True for cloud-style systems (Google / Amazon simulators).
     is_cloud: bool = False
+    #: True when :meth:`transcribe_with_features` actually consumes an
+    #: externally computed front-end feature matrix (see
+    #: :class:`~repro.dsp.engine.FeatureEngine`).  Systems that must see
+    #: the raw samples (e.g. transformed views of a model, which filter
+    #: the audio before the front end) leave this False.
+    supports_precomputed_features: bool = False
 
     @abstractmethod
     def _transcribe_samples(self, samples: np.ndarray, sample_rate: int) -> Transcription:
@@ -69,11 +75,28 @@ class ASRSystem(ABC):
                              asr_name=self.name, elapsed_seconds=elapsed,
                              extra=result.extra)
 
+    def transcribe_with_features(self, audio: Waveform,
+                                 features: np.ndarray) -> Transcription:
+        """Transcribe ``audio`` given its precomputed front-end features.
+
+        The features must have been produced by this system's own front
+        end on exactly this audio (the
+        :class:`~repro.dsp.engine.FeatureEngine` guarantees that via
+        content-hash keys).  The base implementation ignores ``features``
+        and transcribes from the samples; systems that set
+        :attr:`supports_precomputed_features` override this to skip the
+        front end — with results identical to :meth:`transcribe`.
+        """
+        return self.transcribe(audio)
+
     def transcribe_batch(self, audios: list[Waveform]) -> list[Transcription]:
         """Transcribe a list of audio clips sequentially.
 
-        For parallel fan-out across a whole ASR suite (and content-hash
-        caching) use :class:`repro.pipeline.engine.TranscriptionEngine`.
+        Simulated systems override this with a batched path (stacked
+        front end + batched acoustic scoring) that produces identical
+        transcriptions.  For parallel fan-out across a whole ASR suite
+        (and content-hash caching) use
+        :class:`repro.pipeline.engine.TranscriptionEngine`.
         """
         return [self.transcribe(audio) for audio in audios]
 

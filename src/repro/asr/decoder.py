@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.text.language_model import BigramLanguageModel
 from repro.text.lexicon import Lexicon
-from repro.text.metrics import edit_distance
+from repro.text.metrics import edit_distance, levenshtein_codes_batch
 from repro.text.phonemes import PHONEMES, SILENCE, Phoneme
 
 # ----------------------------------------------------------- frame decoders
@@ -35,6 +35,31 @@ def smoothed_frame_labels(log_posteriors: np.ndarray, window: int = 2) -> list[P
 
     Stands in for the recurrent context of an LSTM acoustic model: each
     frame's score is averaged with its neighbours before the decision.
+
+    Vectorized sliding-window smoothing; bit-identical to
+    :func:`smoothed_frame_labels_reference` (the einsum contraction over
+    the window axis sums in the same order as ``np.convolve``).
+    """
+    log_posteriors = np.asarray(log_posteriors)
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    n_frames = log_posteriors.shape[0]
+    if n_frames == 0:
+        return []
+    kernel = np.ones(2 * window + 1)
+    kernel /= kernel.sum()
+    padded = np.pad(log_posteriors, ((window, window), (0, 0)), mode="edge")
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, 2 * window + 1, axis=0)          # (n_frames, n_phonemes, 2w+1)
+    smoothed = np.einsum("nkw,w->nk", windows, kernel)
+    return [PHONEMES[i] for i in smoothed.argmax(axis=1)]
+
+
+def smoothed_frame_labels_reference(log_posteriors: np.ndarray,
+                                    window: int = 2) -> list[Phoneme]:
+    """Per-column ``np.convolve`` smoothing (the seed library's path).
+
+    Kept as the parity reference for :func:`smoothed_frame_labels`.
     """
     log_posteriors = np.asarray(log_posteriors)
     if window < 1:
@@ -154,19 +179,33 @@ class WordDecoder:
     by trying a two-word split; segments that still match nothing are
     dropped (mirroring how a real decoder would emit nothing for
     unintelligible audio).
+
+    The lexicon search — the hot loop of the whole recognition stack —
+    has two implementations selected by ``search``: ``"fast"`` (default)
+    computes every candidate's edit distance in one vectorized integer
+    DP (:func:`~repro.text.metrics.levenshtein_codes_batch`) and reuses
+    per-``previous`` language-model score vectors; ``"scalar"`` is the
+    seed library's per-word loop.  Both produce identical words and
+    identical (integer + float64) costs — the selection replays the
+    scalar loop's exact pruning and tie-breaking order.
     """
 
     #: Per-phoneme cost above which a segment is considered unintelligible.
     MAX_COST_PER_PHONEME = 0.67
 
     def __init__(self, lexicon: Lexicon, language_model: BigramLanguageModel,
-                 lm_weight: float = 0.2):
+                 lm_weight: float = 0.2, search: str = "fast"):
+        if search not in {"fast", "scalar"}:
+            raise ValueError("search must be 'fast' or 'scalar'")
         self.lexicon = lexicon
         self.language_model = language_model
         self.lm_weight = lm_weight
+        self.search = search
         self._entries: list[tuple[str, tuple[Phoneme, ...]]] = []
         self._by_length: dict[int, list[int]] = {}
         self._segment_cache: dict[tuple, tuple[str, float]] = {}
+        self._distance_cache: dict[tuple, np.ndarray] = {}
+        self._lm_vectors: dict[str | None, np.ndarray] = {}
         self._rebuild_index()
 
     def _rebuild_index(self) -> None:
@@ -174,7 +213,30 @@ class WordDecoder:
         self._by_length = {}
         for idx, (_, pron) in enumerate(self._entries):
             self._by_length.setdefault(len(pron), []).append(idx)
+        self._words = [word for word, _ in self._entries]
+        # Pre-encode the pronunciations once: the fast search then only
+        # has to encode each new segment (codes are non-negative, so the
+        # -1 padding never matches a hypothesis token).
+        self._codes: dict[Phoneme, int] = {}
+        prons = [pron for _, pron in self._entries]
+        max_len = max((len(pron) for pron in prons), default=0)
+        self._pron_lengths = np.array([len(pron) for pron in prons],
+                                      dtype=np.int64)
+        self._pron_matrix = np.full((len(prons), max(1, max_len)), -1,
+                                    dtype=np.int32)
+        for idx, pron in enumerate(prons):
+            for j, token in enumerate(pron):
+                self._pron_matrix[idx, j] = self._code(token)
+        self._unigram_scores: np.ndarray | None = None
         self._segment_cache.clear()
+        self._distance_cache.clear()
+        self._lm_vectors.clear()
+
+    def _code(self, token: Phoneme) -> int:
+        code = self._codes.get(token)
+        if code is None:
+            code = self._codes[token] = len(self._codes)
+        return code
 
     # ------------------------------------------------------------- decoding
     def decode(self, phonemes: list[Phoneme]) -> tuple[str, list[str]]:
@@ -222,6 +284,19 @@ class WordDecoder:
         cache_key = (segment, previous if self.lm_weight > 0 else None)
         if cache_key in self._segment_cache:
             return self._segment_cache[cache_key]
+        if self.search == "scalar":
+            result = self._best_word_scalar(segment, previous)
+        else:
+            result = self._best_word_fast(segment, previous)
+        self._segment_cache[cache_key] = result
+        return result
+
+    def _best_word_scalar(self, segment: tuple[Phoneme, ...],
+                          previous: str | None) -> tuple[str, float]:
+        """Per-word loop lexicon search (the seed library's path).
+
+        Kept as the parity reference for :meth:`_best_word_fast`.
+        """
         seg_len = len(segment)
         best_word = ""
         best_score = float("inf")
@@ -244,5 +319,67 @@ class WordDecoder:
                     best_score = distance
                     best_word = word
         result = (best_word, float(best_score if best_score != float("inf") else seg_len))
-        self._segment_cache[cache_key] = result
+        return result
+
+    def _segment_distances(self, segment: tuple[Phoneme, ...]) -> np.ndarray:
+        """Edit distances from every lexicon pronunciation to ``segment``.
+
+        One vectorized DP over the whole lexicon, cached per segment (a
+        segment's distances are independent of ``previous``, so this
+        also shares work across language-model contexts).
+        """
+        cached = self._distance_cache.get(segment)
+        if cached is None:
+            hyp = np.array([self._code(token) for token in segment],
+                           dtype=np.int32)
+            cached = levenshtein_codes_batch(self._pron_matrix,
+                                             self._pron_lengths, hyp)
+            self._distance_cache[segment] = cached
+        return cached
+
+    def _lm_vector(self, previous: str | None) -> np.ndarray:
+        """Language-model scores of every lexicon word after ``previous``."""
+        cached = self._lm_vectors.get(previous)
+        if cached is None:
+            if self._unigram_scores is None:
+                self._unigram_scores = \
+                    self.language_model.unigram_logprob_vector(self._words)
+            cached = self.language_model.word_scores(previous, self._words,
+                                                     self._unigram_scores)
+            self._lm_vectors[previous] = cached
+        return cached
+
+    def _best_word_fast(self, segment: tuple[Phoneme, ...],
+                        previous: str | None) -> tuple[str, float]:
+        """Vectorized lexicon search; replays the scalar selection exactly.
+
+        The distances come from one batched integer DP and the LM bonus
+        from a cached per-context vector; the candidate scan below keeps
+        the scalar loop's iteration order, pruning rule and strict ``<``
+        tie-break, so word and cost are bit-identical to
+        :meth:`_best_word_scalar`.
+        """
+        seg_len = len(segment)
+        distances = self._segment_distances(segment)
+        lm_scores = None
+        best_word = ""
+        best_score = float("inf")
+        for length in range(max(1, seg_len - 2), seg_len + 3):
+            for idx in self._by_length.get(length, ()):
+                distance = distances[idx]
+                if distance - 1 > best_score:
+                    continue
+                if lm_scores is None:
+                    lm_scores = self._lm_vector(previous)
+                score = distance - self.lm_weight * lm_scores[idx]
+                if score < best_score:
+                    best_score = score
+                    best_word = self._entries[idx][0]
+        if not best_word and len(self._entries):
+            # Unconstrained fallback: the scalar strict-< scan selects the
+            # first minimum in entry order, which is exactly np.argmin.
+            idx = int(np.argmin(distances))
+            best_word = self._entries[idx][0]
+            best_score = float(distances[idx])
+        result = (best_word, float(best_score if best_score != float("inf") else seg_len))
         return result

@@ -184,6 +184,21 @@ def build_asr(short_name: str) -> ASRSystem:
     return instance
 
 
+def build_fresh_asr(short_name: str) -> ASRSystem:
+    """Build a new, uncached instance of ``short_name``.
+
+    Unlike :func:`build_asr`, the process-wide instance cache is neither
+    consulted nor populated.  Used where shared mutable state (decoder
+    segment caches, attached feature engines) must not leak between
+    configurations — e.g. the reference path of the pipeline benchmark.
+    """
+    factory = _FACTORIES.get(short_name) or _dynamic_factory(short_name)
+    if factory is None:
+        raise UnknownComponentError("ASR system", short_name,
+                                    available_asr_names())
+    return factory()
+
+
 def default_asr_suite() -> dict[str, ASRSystem]:
     """The target model and the paper's auxiliary models, by short name.
 

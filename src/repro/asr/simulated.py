@@ -26,6 +26,7 @@ from repro.asr.decoder import (
     viterbi_frame_labels,
 )
 from repro.audio.synthesis import SpeechSynthesizer
+from repro.audio.waveform import Waveform
 from repro.config import runtime
 from repro.dsp.features import FeatureExtractor
 from repro.text.language_model import BigramLanguageModel
@@ -34,6 +35,8 @@ from repro.text.lexicon import Lexicon
 
 class SimulatedASR(ASRSystem):
     """Full feature → phoneme → word speech recognition pipeline."""
+
+    supports_precomputed_features = True
 
     #: decoding style: "greedy", "smoothed" or "viterbi".
     decode_style: str = "greedy"
@@ -88,11 +91,13 @@ class SimulatedASR(ASRSystem):
         raise ValueError(f"unknown decode style {self.decode_style!r}")
 
     # --------------------------------------------------------------- pipeline
-    def _transcribe_samples(self, samples: np.ndarray, sample_rate: int) -> Transcription:
+    def _simulate_latency(self) -> None:
         if self.is_cloud and runtime().simulate_cloud_latency and \
                 self.cloud_latency_seconds > 0:
             time.sleep(self.cloud_latency_seconds)
-        log_posteriors = self.frame_log_posteriors(samples)
+
+    def _decode_log_posteriors(self, log_posteriors: np.ndarray) -> Transcription:
+        """Frame decoding + word generation from acoustic log posteriors."""
         frame_labels = self._frame_labels(log_posteriors)
         collapsed = collapse_frame_labels(frame_labels, min_run=self.min_phoneme_run)
         text, words = self.word_decoder.decode(collapsed)
@@ -102,3 +107,62 @@ class SimulatedASR(ASRSystem):
                              asr_name=self.name,
                              extra={"n_frames": len(frame_labels),
                                     "words": words})
+
+    def _transcribe_samples(self, samples: np.ndarray, sample_rate: int) -> Transcription:
+        self._simulate_latency()
+        return self._decode_log_posteriors(self.frame_log_posteriors(samples))
+
+    def transcribe_with_features(self, audio: Waveform,
+                                 features: np.ndarray) -> Transcription:
+        """Transcribe ``audio`` from a precomputed front-end feature matrix.
+
+        Skips the front end (the :class:`~repro.dsp.engine.FeatureEngine`
+        already computed and possibly shared it); acoustic scoring and
+        decoding are the ordinary per-clip stages, so the transcription is
+        identical to :meth:`~repro.asr.base.ASRSystem.transcribe`.
+        """
+        if not isinstance(audio, Waveform):
+            raise TypeError("transcribe_with_features expects a Waveform")
+        start = time.perf_counter()
+        self._simulate_latency()
+        result = self._decode_log_posteriors(
+            self.acoustic_model.log_posteriors(features))
+        elapsed = time.perf_counter() - start
+        return Transcription(text=result.text, phonemes=result.phonemes,
+                             frame_labels=result.frame_labels,
+                             asr_name=self.name, elapsed_seconds=elapsed,
+                             extra=result.extra)
+
+    def transcribe_batch(self, audios: list[Waveform]) -> list[Transcription]:
+        """Transcribe a batch through the stacked front-end/acoustic path.
+
+        The front end runs once over the whole batch
+        (:meth:`~repro.dsp.features.FeatureExtractor.transform_batch`) and
+        acoustic scoring once over the stacked frames
+        (:meth:`~repro.asr.acoustic.TemplateAcousticModel.log_posteriors_batch`);
+        decoding stays per clip.  Transcription contents are identical to
+        sequential :meth:`~repro.asr.base.ASRSystem.transcribe` calls.
+        Simulated cloud latency is charged once per batch, and the shared
+        batch stages' wall time is split evenly across the clips.
+        """
+        if not audios:
+            return []
+        for audio in audios:
+            if not isinstance(audio, Waveform):
+                raise TypeError("transcribe_batch expects Waveforms")
+        start = time.perf_counter()
+        self._simulate_latency()
+        features = self.feature_extractor.transform_batch(
+            [audio.samples for audio in audios])
+        log_posteriors = self.acoustic_model.log_posteriors_batch(features)
+        shared_seconds = (time.perf_counter() - start) / len(audios)
+        results = []
+        for clip_log_posteriors in log_posteriors:
+            clip_start = time.perf_counter()
+            result = self._decode_log_posteriors(clip_log_posteriors)
+            elapsed = shared_seconds + time.perf_counter() - clip_start
+            results.append(Transcription(
+                text=result.text, phonemes=result.phonemes,
+                frame_labels=result.frame_labels, asr_name=self.name,
+                elapsed_seconds=elapsed, extra=result.extra))
+        return results

@@ -107,6 +107,20 @@ def default_spec_with_transforms(transforms, **spec_kwargs):
                 {"transforms": transforms})
 
 
+def build_feature_engine(features_spec):
+    """Resolve a :class:`~repro.specs.FeaturesSpec` into a feature engine.
+
+    ``backend="off"`` returns ``None`` — the transcription engine then
+    leaves every ASR to run its own front end from raw samples (the
+    fully paper-faithful per-clip path).
+    """
+    if features_spec.backend == "off":
+        return None
+    from repro.dsp.engine import FeatureEngine, resolve_feature_cache
+    return FeatureEngine(backend=features_spec.backend,
+                         cache=resolve_feature_cache(features_spec.cache))
+
+
 def _training_source(spec: DetectorSpec) -> str:
     """Resolve ``training.source`` (``auto`` -> ``scored``/``bundle``).
 
@@ -144,7 +158,8 @@ def build(spec: DetectorSpec | Mapping | str | None = None, *,
             the suite's transformed-target views), ``"cache"`` (a
             :class:`TranscriptionCache` instance), ``"score_cache"`` (a
             :class:`PairScoreCache` instance), ``"scorer"`` (a
-            :class:`SimilarityScorer` instance).
+            :class:`SimilarityScorer` instance), ``"feature_engine"`` (a
+            :class:`~repro.dsp.engine.FeatureEngine` or ``None``).
 
     Returns:
         An :class:`~repro.core.detector.MVPEarsDetector`; a
@@ -163,6 +178,8 @@ def build(spec: DetectorSpec | Mapping | str | None = None, *,
                                                 spec.scoring.cache)))
     cache = resolve_transcription_cache(overrides.get("cache",
                                                       spec.pipeline.cache))
+    feature_engine = overrides.get("feature_engine",
+                                   build_feature_engine(spec.pipeline.features))
     target = _resolve_member(spec.suite.target)
 
     members = list(spec.suite.auxiliaries)
@@ -198,7 +215,8 @@ def build(spec: DetectorSpec | Mapping | str | None = None, *,
     # order.
     plain_prefix = [m for m in members if m.transform is None]
     common = dict(classifier=spec.classifier.name,
-                  workers=spec.pipeline.workers, cache=cache, scoring=scoring)
+                  workers=spec.pipeline.workers, cache=cache, scoring=scoring,
+                  feature_engine=feature_engine)
     if canonical:
         from repro.defenses.ensemble import TransformEnsembleDetector
         detector: MVPEarsDetector = TransformEnsembleDetector(

@@ -17,7 +17,13 @@ from typing import Callable
 from repro.errors import UnknownComponentError
 
 
-def check_cache_policy(spec, kind: str) -> None:
+def _path_like(value: str, suffixes: tuple[str, ...]) -> bool:
+    return (os.sep in value or "/" in value
+            or any(value.endswith(suffix) for suffix in suffixes))
+
+
+def check_cache_policy(spec, kind: str,
+                       suffixes: tuple[str, ...] = (".json",)) -> None:
     """Validate a policy without constructing (or reading) any cache.
 
     Raises :class:`UnknownComponentError` for a mistyped policy name;
@@ -25,22 +31,25 @@ def check_cache_policy(spec, kind: str) -> None:
     validation so ``repro config validate`` never touches cache files.
     """
     if isinstance(spec, str) and spec not in ("shared", "private", "off") \
-            and not (os.sep in spec or "/" in spec or spec.endswith(".json")):
+            and not _path_like(spec, suffixes):
         raise UnknownComponentError(
             kind, spec, ("shared", "private", "off",
-                         "<path ending in .json>"))
+                         f"<path ending in {'/'.join(suffixes)}>"))
 
 
 def resolve_cache_policy(spec, cache_type: type, kind: str,
-                         make_shared: Callable[[], object] | None = None):
+                         make_shared: Callable[[], object] | None = None,
+                         suffixes: tuple[str, ...] = (".json",)):
     """Coerce a cache policy into an engine ``cache`` argument.
 
     Accepted policies: an instance of ``cache_type`` (used as given), a
     bool, ``None``/``"off"`` (disabled), ``"shared"`` (``True`` — the
     engine substitutes its process-wide cache), ``"private"`` (a fresh
-    in-memory cache) or a path-like string (an on-disk JSON store —
-    must contain a path separator or end in ``.json``, so a mistyped
-    policy name errors instead of silently creating a cache file).
+    in-memory cache) or a path-like string (an on-disk store — must
+    contain a path separator or end in one of ``suffixes``, so a
+    mistyped policy name errors instead of silently creating a cache
+    file).  ``suffixes`` follows the store's format: ``.json`` for the
+    transcription and pair-score caches, ``.npz`` for the feature cache.
     """
     if isinstance(spec, cache_type) or isinstance(spec, bool):
         return spec
@@ -51,7 +60,8 @@ def resolve_cache_policy(spec, cache_type: type, kind: str,
     if spec == "private":
         return cache_type()
     path = str(spec)
-    if os.sep in path or "/" in path or path.endswith(".json"):
+    if _path_like(path, suffixes):
         return cache_type(path=path)
     raise UnknownComponentError(
-        kind, spec, ("shared", "private", "off", "<path ending in .json>"))
+        kind, spec, ("shared", "private", "off",
+                     f"<path ending in {'/'.join(suffixes)}>"))

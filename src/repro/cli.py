@@ -6,6 +6,7 @@ Exposes the whole detection stack without writing Python::
     python -m repro stream recording.wav        # windowed streaming verdicts
     python -m repro bench                       # serving-layer benchmark
     python -m repro bench-similarity            # scoring-backend benchmark
+    python -m repro bench-pipeline              # end-to-end pipeline benchmark
     python -m repro config show                 # effective detector spec
     python -m repro config validate cfg.json    # schema-check config files
 
@@ -27,7 +28,12 @@ and ``config validate`` schema-checks files, naming each bad field and
 its allowed values.  ``bench`` synthesises a workload and drives it
 through the sequential detector, the batched pipeline and the
 micro-batcher; ``bench-similarity`` times the reference vs fast scoring
-backends and writes ``BENCH_similarity.json``.
+backends and writes ``BENCH_similarity.json``; ``bench-pipeline`` times
+per-clip reference recognition against the vectorized batched front end
+(cold and warm feature cache), requires bit-identical transcriptions,
+and writes ``BENCH_pipeline.json``.  ``--feature-backend`` /
+``--feature-cache`` shape the front-end feature engine (see
+docs/FEATURES.md).
 
 Exit status: ``screen`` and ``stream`` exit 1 when anything was flagged
 adversarial (so shell scripts can gate on the verdict), 0 otherwise;
@@ -124,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="pair-score cache: 'shared' (default, "
                               "process-wide), 'private', 'off', or a JSON "
                               "file path for an on-disk store")
+        sub.add_argument("--feature-backend", default=None,
+                         choices=("fast", "reference", "off"),
+                         help="front-end feature backend: the batch-"
+                              "vectorized engine (fast, default), the "
+                              "per-clip reference path (bit-identical "
+                              "features), or 'off' to disable the shared "
+                              "feature engine entirely")
+        sub.add_argument("--feature-cache", default=None, metavar="POLICY",
+                         help="feature cache: 'shared' (default, "
+                              "process-wide), 'private', 'off', or an .npz "
+                              "file path for an on-disk store")
         sub.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of text")
 
@@ -184,6 +201,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_sim.add_argument("--json", action="store_true",
                            help="print the JSON report instead of the "
                                 "human-readable summary")
+
+    bench_pipe = commands.add_parser(
+        "bench-pipeline",
+        help="benchmark the reference vs vectorized recognition pipeline")
+    bench_pipe.add_argument("--clips", type=int, default=6,
+                            help="number of synthesised clips in the "
+                                 "workload (default: 6)")
+    bench_pipe.add_argument("--repeats", type=int, default=3,
+                            help="warm-pass timing repetitions, best-of "
+                                 "(default: 3)")
+    bench_pipe.add_argument("--seed", type=int, default=0,
+                            help="workload sampling seed (default: 0)")
+    bench_pipe.add_argument("--output", default="BENCH_pipeline.json",
+                            metavar="PATH",
+                            help="where to write the machine-readable report "
+                                 "(default: BENCH_pipeline.json)")
+    bench_pipe.add_argument("--json", action="store_true",
+                            help="print the JSON report instead of the "
+                                 "human-readable summary")
 
     config = commands.add_parser(
         "config", help="show the effective detector spec / validate config files")
@@ -284,7 +320,9 @@ _LEAF_FLAGS = (("scale", "training.scale"),
                ("workers", "pipeline.workers"),
                ("scorer", "scoring.scorer"),
                ("scoring_backend", "scoring.backend"),
-               ("score_cache", "scoring.cache"))
+               ("score_cache", "scoring.cache"),
+               ("feature_backend", "pipeline.features.backend"),
+               ("feature_cache", "pipeline.features.cache"))
 
 
 def _detector_spec(args: argparse.Namespace):
@@ -593,6 +631,41 @@ def cmd_bench_similarity(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------- bench-pipeline
+def cmd_bench_pipeline(args: argparse.Namespace) -> int:
+    from repro.pipeline.bench import run_pipeline_benchmark
+
+    if args.clips < 1:
+        raise CliError("--clips must be >= 1")
+    report = run_pipeline_benchmark(n_clips=args.clips, repeats=args.repeats,
+                                    seed=args.seed)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    if report["parity_mismatches"] != 0:
+        # The fast pipeline's contract is identical transcriptions; a
+        # mismatch is a defect, not a benchmark result.
+        raise CliError(
+            f"pipeline parity violation: {report['parity_mismatches']} "
+            f"transcriptions differ between the reference and fast paths "
+            f"(report in {args.output})")
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(f"workload: {report['n_clips']} synthesised clips, suite "
+          f"{'+'.join(report['suite'])}, warm best of {report['repeats']}")
+    for label, shape in (("cold (empty feature cache)", report["cold"]),
+                         ("warm (feature cache hit)", report["warm"])):
+        print(f"{label:<27} reference {shape['reference_seconds']:8.3f} s  "
+              f"fast {shape['fast_seconds']:8.3f} s  "
+              f"{shape['speedup']:6.2f}x  "
+              f"({shape['fast_clips_per_second']:,.1f} clips/s)")
+    cache = report["feature_cache"]
+    print(f"feature cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"({cache['hit_rate']:.0%}); parity: 0 mismatches "
+          f"(report written to {args.output})")
+    return 0
+
+
 # ------------------------------------------------------------------- config
 def cmd_config(args: argparse.Namespace) -> int:
     from repro.specs import DetectorSpec, InvalidSpecError
@@ -635,6 +708,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     handlers = {"screen": cmd_screen, "stream": cmd_stream, "bench": cmd_bench,
                 "bench-similarity": cmd_bench_similarity,
+                "bench-pipeline": cmd_bench_pipeline,
                 "config": cmd_config}
     try:
         return handlers[args.command](args)

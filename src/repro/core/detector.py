@@ -77,6 +77,10 @@ class MVPEarsDetector:
             (instance or registry name ``"fast"``/``"reference"``), or
             ``None`` for the default fast engine with the shared
             pair-score cache.
+        feature_engine: optional :class:`~repro.dsp.engine.FeatureEngine`
+            handed to a newly built transcription engine so suite members
+            share front-end feature matrices (ignored when ``engine`` is
+            injected — the injected engine keeps its own).
     """
 
     def __init__(self, target_asr: ASRSystem, auxiliary_asrs: list[ASRSystem],
@@ -85,7 +89,8 @@ class MVPEarsDetector:
                  workers: int | None = None,
                  engine: TranscriptionEngine | None = None,
                  cache: TranscriptionCache | bool | None = True,
-                 scoring: SimilarityEngine | ScoringBackend | str | None = None):
+                 scoring: SimilarityEngine | ScoringBackend | str | None = None,
+                 feature_engine=None):
         if not auxiliary_asrs:
             raise ValueError("at least one auxiliary ASR is required")
         self.target_asr = target_asr
@@ -96,7 +101,8 @@ class MVPEarsDetector:
                         else SimilarityEngine(scorer=scorer, backend=scoring))
         self.scorer = self.scoring.scorer
         self.engine = engine if engine is not None else TranscriptionEngine(
-            target_asr, self.auxiliary_asrs, workers=workers, cache=cache)
+            target_asr, self.auxiliary_asrs, workers=workers, cache=cache,
+            feature_engine=feature_engine)
         self._fitted = False
 
     def close(self) -> None:

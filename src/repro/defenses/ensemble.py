@@ -102,7 +102,8 @@ class TransformEnsembleDetector(MVPEarsDetector):
                  workers: int | None = None,
                  engine: TranscriptionEngine | None = None,
                  cache: TranscriptionCache | bool | None = True,
-                 scoring: SimilarityEngine | ScoringBackend | str | None = None):
+                 scoring: SimilarityEngine | ScoringBackend | str | None = None,
+                 feature_engine=None):
         transforms = list(transforms) if transforms is not None else \
             default_transform_suite()
         if not transforms and not asr_auxiliaries:
@@ -111,7 +112,8 @@ class TransformEnsembleDetector(MVPEarsDetector):
         auxiliaries.extend(TransformedASR(target_asr, t) for t in transforms)
         super().__init__(target_asr, auxiliaries, classifier=classifier,
                          scorer=scorer, workers=workers, engine=engine,
-                         cache=cache, scoring=scoring)
+                         cache=cache, scoring=scoring,
+                         feature_engine=feature_engine)
         self.transforms = transforms
         self.asr_auxiliaries = list(asr_auxiliaries or [])
 

@@ -1,0 +1,172 @@
+"""Content-addressed caching of front-end feature matrices.
+
+Computing a front end is pure — the feature matrix is a function of the
+raw samples, the sample rate and the extractor configuration alone — yet
+the same (clip, configuration) pairs recur constantly: overlapping
+streaming windows re-hear the same audio, transform-ensemble suites run
+several auxiliaries with the *target's* front end, repeated experiment
+tables re-read the same dataset bundle, and any two suite members with
+equal front-end configurations duplicate the work outright.  The
+transcription layer caches by audio content hash
+(:class:`~repro.pipeline.cache.TranscriptionCache`), the scoring layer by
+text content (:class:`~repro.similarity.score_cache.PairScoreCache`);
+this module gives the feature layer the same treatment.
+
+The cache key is the extractor's configuration tag
+(:attr:`~repro.dsp.features.FeatureExtractor.cache_tag`) plus a content
+hash of the raw samples and the sample rate, so two clips with identical
+audio share one entry regardless of where the audio came from.  Storage
+is a thread-safe in-memory LRU, optionally backed by an ``.npz`` file on
+disk, mirroring the other two caches' API and statistics.  Cached
+matrices are stored read-only so a consumer cannot corrupt entries that
+later lookups will share.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def samples_fingerprint(samples: np.ndarray, sample_rate: int) -> str:
+    """Content hash identifying one clip's audio (samples + rate)."""
+    digest = hashlib.sha1()
+    digest.update(np.ascontiguousarray(samples).tobytes())
+    digest.update(str(int(sample_rate)).encode("ascii"))
+    return digest.hexdigest()
+
+
+@dataclass
+class FeatureCacheStats:
+    """Hit/miss/eviction counters of one :class:`FeatureCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class FeatureCache:
+    """Thread-safe LRU cache of feature matrices keyed by config + content.
+
+    Args:
+        capacity: maximum number of entries kept in memory; the least
+            recently used entry is evicted first.
+        path: optional ``.npz`` file backing the cache on disk.  Existing
+            entries are loaded eagerly; call :meth:`save` to persist.
+    """
+
+    def __init__(self, capacity: int = 2048, path: str | None = None):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.path = path
+        self.stats = FeatureCacheStats()
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    @staticmethod
+    def key_for(extractor_tag: str, samples: np.ndarray,
+                sample_rate: int) -> str:
+        """Cache key of one (front-end configuration, clip) combination.
+
+        ``extractor_tag`` is a front-end configuration tag (see
+        :attr:`~repro.dsp.features.FeatureExtractor.cache_tag`); two
+        extractors with equal tags share entries by design — that is the
+        cross-suite-member sharing win.
+        """
+        return f"{extractor_tag}:{samples_fingerprint(samples, sample_rate)}"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> np.ndarray | None:
+        """Look up ``key``, updating LRU order and hit/miss statistics."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: str, features: np.ndarray) -> None:
+        """Store ``features`` under ``key``, evicting the LRU entry if full.
+
+        The matrix is copied and frozen (non-writeable), so later
+        mutation by the caller cannot corrupt the shared entry.
+        """
+        value = np.array(features, dtype=np.float64, copy=True)
+        value.flags.writeable = False
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = FeatureCacheStats()
+
+    # ------------------------------------------------------------ disk store
+    def save(self, path: str | None = None) -> str:
+        """Write the cache to ``path`` (default: the constructor path)."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no path given and cache has no backing file")
+        with self._lock:
+            keys = list(self._entries.keys())
+            arrays = {f"arr_{i}": value
+                      for i, value in enumerate(self._entries.values())}
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # Write through a file handle so numpy does not append ".npz" to
+        # paths that spell the extension differently.
+        with open(path, "wb") as handle:
+            np.savez(handle, __keys__=np.array(keys, dtype=str), **arrays)
+        return path
+
+    def load(self, path: str | None = None) -> int:
+        """Merge entries from ``path`` into the cache; returns the count."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no path given and cache has no backing file")
+        with np.load(path, allow_pickle=False) as payload:
+            keys = [str(key) for key in payload["__keys__"]]
+            entries = [(key, payload[f"arr_{i}"])
+                       for i, key in enumerate(keys)]
+        with self._lock:
+            for key, value in entries:
+                value = np.asarray(value, dtype=np.float64)
+                value.flags.writeable = False
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return len(entries)

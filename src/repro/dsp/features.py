@@ -5,6 +5,17 @@ front ends (MFCC, log-mel, LPC envelope) differ in frame geometry and
 feature space, which is one of the diversity axes the MVP-inspired detector
 relies on: a perturbation crafted in one feature space does not line up with
 another system's analysis frames or filterbanks.
+
+Every front end computes in float64 end-to-end (inputs are cast on entry,
+all constants and intermediates are float64), exposes a ``cache_tag``
+naming its exact configuration (the content-hash key prefix used by
+:class:`~repro.dsp.engine.FeatureEngine`), and offers ``transform_batch``
+— a whole-batch path that stacks the analysis frames of many clips,
+runs the row-independent stages (windowing, rfft, the Levinson-Durbin
+recursion) once over the stack, and applies the BLAS matmul stages per
+clip segment so the result is bit-identical (``==``, not approx) to
+per-clip :meth:`FeatureExtractor.transform` calls.  The parity is pinned
+by ``tests/test_dsp_vectorized.py``.
 """
 
 from __future__ import annotations
@@ -15,7 +26,12 @@ import numpy as np
 
 from repro.dsp.dct import dct_matrix
 from repro.dsp.framing import frame_signal
-from repro.dsp.lpc import lpc_cepstra, lpc_spectrum_features
+from repro.dsp.lpc import (
+    lpc_cepstra,
+    lpc_coefficients_batch,
+    lpc_envelope_features,
+    lpc_spectrum_features,
+)
 from repro.dsp.mel import mel_filterbank
 from repro.dsp.mfcc import MfccConfig, MfccExtractor
 from repro.dsp.windows import hamming_window, hann_window
@@ -40,9 +56,42 @@ class FeatureExtractor(ABC):
     def transform(self, samples: np.ndarray) -> np.ndarray:
         """Feature matrix of a waveform."""
 
+    @property
+    def cache_tag(self) -> str | None:
+        """Configuration tag naming this front end for feature caching.
+
+        Two extractors with equal tags must produce bit-identical
+        features for the same samples.  ``None`` (the base default, for
+        subclasses that do not declare a tag) disables caching for the
+        extractor rather than risking a collision.
+        """
+        return None
+
     def frames(self, samples: np.ndarray) -> np.ndarray:
         """Analysis frames of a waveform (shared framing helper)."""
         return frame_signal(samples, self.frame_length, self.hop_length)
+
+    def transform_batch(self, batch: list[np.ndarray]) -> list[np.ndarray]:
+        """Feature matrices of many waveforms.
+
+        The base implementation is the per-clip reference loop; concrete
+        front ends override it with a stacked vectorized path that is
+        bit-identical to this one.
+        """
+        return [self.transform(samples) for samples in batch]
+
+    def _split_segments(self, batch: list[np.ndarray]):
+        """Stack per-clip analysis frames for the batched front-end paths.
+
+        Returns ``(stacked_frames, counts)`` where ``stacked_frames`` is
+        the row-concatenation of every clip's frames and ``counts`` the
+        per-clip frame counts (split points for the per-segment stages).
+        """
+        frames_list = [self.frames(samples) for samples in batch]
+        counts = [frames.shape[0] for frames in frames_list]
+        stacked = np.concatenate(frames_list, axis=0) if frames_list else \
+            np.zeros((0, self.frame_length))
+        return stacked, counts
 
 
 class MfccFeatureExtractor(FeatureExtractor):
@@ -66,12 +115,28 @@ class MfccFeatureExtractor(FeatureExtractor):
     def feature_dim(self) -> int:
         return self._mfcc.feature_dim
 
+    @property
+    def cache_tag(self) -> str:
+        cfg = self.config
+        return (f"mfcc:sr{cfg.sample_rate}:fl{cfg.frame_length}"
+                f":hop{cfg.hop_length}:fft{cfg.n_fft}:mel{cfg.n_mels}"
+                f":c{cfg.n_mfcc}:fmin{cfg.f_min}:fmax{cfg.f_max}")
+
     def transform(self, samples: np.ndarray) -> np.ndarray:
         return self._mfcc.transform(samples)
 
     def transform_frames(self, frames: np.ndarray) -> np.ndarray:
         """MFCCs of pre-framed samples."""
         return self._mfcc.transform_frames(frames)
+
+    def transform_batch(self, batch: list[np.ndarray]) -> list[np.ndarray]:
+        stacked, counts = self._split_segments(batch)
+        power = self._mfcc.power_spectrum(stacked)   # one rfft for the batch
+        out, start = [], 0
+        for count in counts:
+            out.append(self._mfcc.features_from_power(power[start:start + count]))
+            start += count
+        return out
 
 
 class LogMelFeatureExtractor(FeatureExtractor):
@@ -99,6 +164,8 @@ class LogMelFeatureExtractor(FeatureExtractor):
         self.n_fft = n_fft
         self.n_mels = n_mels
         self.n_ceps = n_ceps
+        self.f_min = f_min
+        self.f_max = f_max
         self.per_frame_normalization = per_frame_normalization
         self._window = hann_window(frame_length)
         self._filterbank = mel_filterbank(n_mels, n_fft, sample_rate, f_min, f_max)
@@ -108,13 +175,21 @@ class LogMelFeatureExtractor(FeatureExtractor):
     def feature_dim(self) -> int:
         return self.n_ceps if self.n_ceps else self.n_mels
 
-    def transform(self, samples: np.ndarray) -> np.ndarray:
-        frames = self.frames(samples)
-        if frames.shape[0] == 0:
-            return np.zeros((0, self.feature_dim))
+    @property
+    def cache_tag(self) -> str:
+        return (f"logmel:sr{self.sample_rate}:fl{self.frame_length}"
+                f":hop{self.hop_length}:fft{self.n_fft}:mel{self.n_mels}"
+                f":ceps{self.n_ceps}:fmin{self.f_min}:fmax{self.f_max}"
+                f":norm{int(self.per_frame_normalization)}")
+
+    def _power_spectrum(self, frames: np.ndarray) -> np.ndarray:
+        # Row-independent stages: safe to run on a cross-clip stack.
         windowed = frames * self._window
         spectrum = np.fft.rfft(windowed, n=self.n_fft, axis=-1)
-        power = spectrum.real ** 2 + spectrum.imag ** 2
+        return spectrum.real ** 2 + spectrum.imag ** 2
+
+    def _features_from_power(self, power: np.ndarray) -> np.ndarray:
+        # Matmul stages: batched callers apply this per clip segment.
         mel = power @ self._filterbank.T
         logmel = np.log(mel + _EPS)
         if self.per_frame_normalization:
@@ -125,6 +200,30 @@ class LogMelFeatureExtractor(FeatureExtractor):
         if self._dct is not None:
             return logmel @ self._dct.T
         return logmel
+
+    def transform_frames(self, frames: np.ndarray) -> np.ndarray:
+        """Log-mel / mel-cepstrum features of pre-framed samples."""
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ValueError("transform_frames expects (n_frames, frame_length)")
+        if frames.shape[0] == 0:
+            return np.zeros((0, self.feature_dim))
+        return self._features_from_power(self._power_spectrum(frames))
+
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        return self.transform_frames(self.frames(samples))
+
+    def transform_batch(self, batch: list[np.ndarray]) -> list[np.ndarray]:
+        stacked, counts = self._split_segments(batch)
+        power = self._power_spectrum(stacked)
+        out, start = [], 0
+        for count in counts:
+            if count == 0:
+                out.append(np.zeros((0, self.feature_dim)))
+            else:
+                out.append(self._features_from_power(power[start:start + count]))
+            start += count
+        return out
 
 
 class LpcFeatureExtractor(FeatureExtractor):
@@ -153,11 +252,50 @@ class LpcFeatureExtractor(FeatureExtractor):
         # Cepstral features carry an extra log-energy column.
         return self.n_bands if self.style == "envelope" else self.order + 1
 
-    def transform(self, samples: np.ndarray) -> np.ndarray:
-        frames = self.frames(samples)
+    @property
+    def cache_tag(self) -> str:
+        return (f"lpc:{self.style}:sr{self.sample_rate}"
+                f":fl{self.frame_length}:hop{self.hop_length}"
+                f":ord{self.order}:bands{self.n_bands}")
+
+    def transform_frames(self, frames: np.ndarray) -> np.ndarray:
+        """LPC cepstrum / envelope features of pre-framed samples."""
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ValueError("transform_frames expects (n_frames, frame_length)")
         if frames.shape[0] == 0:
             return np.zeros((0, self.feature_dim))
         windowed = frames * self._window
         if self.style == "envelope":
             return lpc_spectrum_features(windowed, self.order, self.n_bands)
         return lpc_cepstra(windowed, self.order)
+
+    def transform(self, samples: np.ndarray) -> np.ndarray:
+        return self.transform_frames(self.frames(samples))
+
+    def transform_batch(self, batch: list[np.ndarray]) -> list[np.ndarray]:
+        stacked, counts = self._split_segments(batch)
+        windowed = stacked * self._window
+        if self.style == "cepstrum":
+            # The whole LPCC chain (autocorrelation, Levinson-Durbin,
+            # cepstral recursion, log energy) is row-independent: one
+            # pass over the stack, then split.
+            cepstra = lpc_cepstra(windowed, self.order) if len(windowed) else \
+                np.zeros((0, self.feature_dim))
+            out, start = [], 0
+            for count in counts:
+                out.append(cepstra[start:start + count]
+                           if count else np.zeros((0, self.feature_dim)))
+                start += count
+            return out
+        coeffs = lpc_coefficients_batch(windowed, self.order) if len(windowed) \
+            else np.zeros((0, self.order))
+        out, start = [], 0
+        for count in counts:
+            if count == 0:
+                out.append(np.zeros((0, self.feature_dim)))
+            else:
+                out.append(lpc_envelope_features(coeffs[start:start + count],
+                                                 self.n_bands))
+            start += count
+        return out

@@ -62,6 +62,31 @@ def overlap_add(frames: np.ndarray, hop_length: int,
     Used by the white-box attack to map per-frame gradients back onto the
     waveform.  Overlapping regions are summed (not averaged): the caller is
     expected to normalise if needed.
+
+    Vectorized scatter-add; bit-identical to :func:`overlap_add_reference`
+    (``np.add.at`` accumulates repeated indices in row-major order, which
+    is exactly the reference's frame-by-frame order).
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 2:
+        raise ValueError("overlap_add expects a 2-D frame matrix")
+    count, frame_length = frames.shape
+    total = frame_length + hop_length * max(0, count - 1) if count else 0
+    if n_samples is None:
+        n_samples = total
+    signal = np.zeros(max(n_samples, total))
+    if count:
+        indices = (np.arange(frame_length)[None, :]
+                   + hop_length * np.arange(count)[:, None])
+        np.add.at(signal, indices.ravel(), frames.ravel())
+    return signal[:n_samples]
+
+
+def overlap_add_reference(frames: np.ndarray, hop_length: int,
+                          n_samples: int | None = None) -> np.ndarray:
+    """Per-frame Python-loop overlap-add (the seed library's path).
+
+    Kept as the parity reference for :func:`overlap_add`.
     """
     frames = np.asarray(frames, dtype=np.float64)
     if frames.ndim != 2:

@@ -96,6 +96,27 @@ def lpc_cepstra(frames: np.ndarray, order: int,
     return np.concatenate([cepstra, energy], axis=1)
 
 
+def lpc_envelope_features(coeffs: np.ndarray, n_bands: int,
+                          per_frame_normalization: bool = True) -> np.ndarray:
+    """Log spectral envelope bands from prediction coefficients.
+
+    Contains the complex matmul stage, whose result depends on the row
+    count of the operand — batched callers must apply this per clip
+    segment (same rows as a standalone call) to stay bit-identical.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    order = coeffs.shape[1]
+    omegas = np.linspace(0.05 * np.pi, 0.95 * np.pi, n_bands)
+    k = np.arange(1, order + 1)
+    basis = np.exp(-1j * np.outer(omegas, k))          # (n_bands, order)
+    denom = 1.0 - coeffs @ basis.T                     # (n_frames, n_bands)
+    envelope = 1.0 / np.maximum(np.abs(denom), 1e-6)
+    features = np.log(envelope + _EPS)
+    if per_frame_normalization:
+        features = features - features.mean(axis=1, keepdims=True)
+    return features
+
+
 def lpc_spectrum_features(frames: np.ndarray, order: int, n_bands: int,
                           per_frame_normalization: bool = True) -> np.ndarray:
     """Log spectral envelope features from LPC analysis.
@@ -110,13 +131,5 @@ def lpc_spectrum_features(frames: np.ndarray, order: int, n_bands: int,
         raise ValueError("lpc_spectrum_features expects (n_frames, frame_length)")
     if frames.shape[0] == 0:
         return np.zeros((0, n_bands))
-    omegas = np.linspace(0.05 * np.pi, 0.95 * np.pi, n_bands)
-    k = np.arange(1, order + 1)
-    basis = np.exp(-1j * np.outer(omegas, k))          # (n_bands, order)
     coeffs = lpc_coefficients_batch(frames, order)     # (n_frames, order)
-    denom = 1.0 - coeffs @ basis.T                     # (n_frames, n_bands)
-    envelope = 1.0 / np.maximum(np.abs(denom), 1e-6)
-    features = np.log(envelope + _EPS)
-    if per_frame_normalization:
-        features = features - features.mean(axis=1, keepdims=True)
-    return features
+    return lpc_envelope_features(coeffs, n_bands, per_frame_normalization)

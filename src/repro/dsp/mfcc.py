@@ -72,17 +72,34 @@ class MfccExtractor:
         """Slice a waveform into analysis frames."""
         return frame_signal(samples, self.config.frame_length, self.config.hop_length)
 
-    def transform_frames(self, frames: np.ndarray) -> np.ndarray:
-        """MFCCs of pre-framed samples, shape ``(n_frames, n_mfcc)``."""
+    def power_spectrum(self, frames: np.ndarray) -> np.ndarray:
+        """Windowed rfft power spectrum, shape ``(n_frames, n_fft // 2 + 1)``.
+
+        Row-independent (every output row depends only on its input row),
+        so frames from many clips can be stacked, transformed together and
+        split — bit-identically to per-clip calls.
+        """
         frames = np.asarray(frames, dtype=np.float64)
         if frames.ndim != 2:
             raise ValueError("transform_frames expects (n_frames, frame_length)")
         windowed = frames * self._window
         spectrum = np.fft.rfft(windowed, n=self.config.n_fft, axis=-1)
-        power = spectrum.real ** 2 + spectrum.imag ** 2
+        return spectrum.real ** 2 + spectrum.imag ** 2
+
+    def features_from_power(self, power: np.ndarray) -> np.ndarray:
+        """Mel projection + log + DCT of a power spectrum.
+
+        Contains the BLAS matmul stages, whose results depend on the row
+        count of the operand — batched callers must apply this per clip
+        segment (same rows as a standalone call) to stay bit-identical.
+        """
         mel = power @ self._filterbank.T
         logmel = np.log(mel + _EPS)
         return logmel @ self._dct.T
+
+    def transform_frames(self, frames: np.ndarray) -> np.ndarray:
+        """MFCCs of pre-framed samples, shape ``(n_frames, n_mfcc)``."""
+        return self.features_from_power(self.power_spectrum(frames))
 
     def transform(self, samples: np.ndarray) -> np.ndarray:
         """MFCC matrix of a waveform, shape ``(n_frames, n_mfcc)``."""

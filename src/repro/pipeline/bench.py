@@ -1,0 +1,142 @@
+"""The end-to-end pipeline benchmark (``repro bench-pipeline``).
+
+Times the seed library's per-clip recognition path against the
+vectorized one on a synthetic clip batch, over the default ASR suite:
+
+* **reference** — freshly built suite instances with the scalar decoder
+  search, sequential fan-out (``workers=0``), no caches and no feature
+  engine: the path the seed library ran.
+* **cold** — freshly built suite instances on the fast path: vectorized
+  decoder search, batched front end and acoustic scoring
+  (:meth:`~repro.asr.base.ASRSystem.transcribe_batch` via the
+  transcription engine), and a private
+  :class:`~repro.dsp.feature_cache.FeatureCache` that starts empty.
+* **warm** — the same fast engine run again, so every front-end matrix
+  comes out of the feature cache (the recurring-audio shape streaming
+  serves).
+
+The report is machine-readable (written to ``BENCH_pipeline.json`` by
+the CLI, uploaded as a CI artifact) and self-checking: it counts the
+transcription mismatches between the reference and fast passes, which
+must be exactly zero — both paths are required to be bit-identical, not
+approximately equal.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.asr.registry import (
+    build_fresh_asr,
+    default_suite_names,
+    get_shared_lexicon,
+)
+from repro.audio.synthesis import SpeechSynthesizer
+from repro.audio.waveform import Waveform
+from repro.config import SAMPLE_RATE
+from repro.dsp.engine import FeatureEngine
+from repro.dsp.feature_cache import FeatureCache
+from repro.pipeline.engine import TranscriptionEngine
+
+
+def benchmark_clips(n_clips: int = 6, seed: int = 0) -> list[Waveform]:
+    """Synthetic utterances drawn from the LibriSpeech-like corpus."""
+    from repro.text.corpus import librispeech_like_corpus
+
+    if n_clips < 1:
+        raise ValueError("n_clips must be >= 1")
+    rng = np.random.default_rng(seed)
+    sentences = librispeech_like_corpus().sample(n_clips, rng)
+    synthesizer = SpeechSynthesizer(sample_rate=SAMPLE_RATE,
+                                    lexicon=get_shared_lexicon(),
+                                    seed=seed + 7)
+    return [synthesizer.synthesize(sentence) for sentence in sentences]
+
+
+def _fresh_suite(names: tuple[str, ...], search: str):
+    """Fresh, uncached suite instances with the given decoder search."""
+    suite = [build_fresh_asr(name) for name in names]
+    for asr in suite:
+        asr.word_decoder.search = search
+    return suite
+
+
+def _mismatches(reference_suites, fast_suites) -> int:
+    """Transcriptions that differ between the two passes (must be 0)."""
+    count = 0
+    for ref, fast in zip(reference_suites, fast_suites):
+        results_ref = [ref.target, *ref.auxiliaries.values()]
+        results_fast = [fast.target, *fast.auxiliaries.values()]
+        for a, b in zip(results_ref, results_fast):
+            if (a.text != b.text or a.phonemes != b.phonemes
+                    or a.frame_labels != b.frame_labels):
+                count += 1
+    return count
+
+
+def run_pipeline_benchmark(n_clips: int = 6, repeats: int = 3,
+                           seed: int = 0) -> dict:
+    """Time reference vs fast end-to-end recognition; return a report.
+
+    The reference and cold measurements are each one pass over freshly
+    built suites (a second pass would be served by the decoders' segment
+    memos, which is not what "cold" means); ``repeats`` applies to the
+    warm measurement, which is best-of by construction.
+    """
+    names = default_suite_names()
+    clips = benchmark_clips(n_clips, seed)
+
+    reference_suite = _fresh_suite(names, "scalar")
+    reference_engine = TranscriptionEngine(
+        reference_suite[0], reference_suite[1:], workers=0, cache=False)
+    start = time.perf_counter()
+    reference_results = [reference_engine.transcribe(clip) for clip in clips]
+    reference_seconds = time.perf_counter() - start
+
+    fast_suite = _fresh_suite(names, "fast")
+    feature_cache = FeatureCache(capacity=max(64, 4 * n_clips * len(names)))
+    fast_engine = TranscriptionEngine(
+        fast_suite[0], fast_suite[1:], workers=0, cache=False,
+        feature_engine=FeatureEngine(backend="fast", cache=feature_cache))
+    start = time.perf_counter()
+    cold_results = fast_engine.transcribe_batch(clips)
+    cold_seconds = time.perf_counter() - start
+
+    parity_mismatches = _mismatches(reference_results, cold_results)
+
+    warm_seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        warm_results = fast_engine.transcribe_batch(clips)
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+    parity_mismatches += _mismatches(reference_results, warm_results)
+
+    def _shape(fast_seconds: float) -> dict:
+        return {
+            "reference_seconds": reference_seconds,
+            "fast_seconds": fast_seconds,
+            "speedup": (reference_seconds / fast_seconds
+                        if fast_seconds > 0 else float("inf")),
+            "reference_clips_per_second": (n_clips / reference_seconds
+                                           if reference_seconds > 0 else 0.0),
+            "fast_clips_per_second": (n_clips / fast_seconds
+                                      if fast_seconds > 0 else 0.0),
+        }
+
+    stats = feature_cache.stats
+    return {
+        "suite": list(names),
+        "n_clips": n_clips,
+        "repeats": repeats,
+        "seed": seed,
+        "parity_mismatches": parity_mismatches,
+        "cold": _shape(cold_seconds),
+        "warm": _shape(warm_seconds),
+        "feature_cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+        },
+    }

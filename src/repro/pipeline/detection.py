@@ -55,6 +55,9 @@ class BatchDetectionResult:
         cache_misses: transcriptions actually decoded.
         score_cache_hits: pair scores served from the pair-score cache.
         score_cache_misses: pair scores actually computed.
+        feature_cache_hits: front-end feature matrices served from the
+            feature cache during this batch.
+        feature_cache_misses: front-end feature matrices computed.
     """
 
     results: list[DetectionResult]
@@ -67,6 +70,8 @@ class BatchDetectionResult:
     cache_misses: int = 0
     score_cache_hits: int = 0
     score_cache_misses: int = 0
+    feature_cache_hits: int = 0
+    feature_cache_misses: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -146,9 +151,11 @@ class DetectionPipeline:
                 results=[], features=np.zeros((0, 0)),
                 predictions=np.zeros(0, dtype=int),
                 stage_seconds=dict.fromkeys((*STAGE_KEYS, "total"), 0.0))
+        feature_before = self.engine.feature_stats
         start = time.perf_counter()
         suites = self.engine.transcribe_batch(audios)
         recognition_end = time.perf_counter()
+        feature_after = self.engine.feature_stats
         features, score_report = self.detector.scoring.score_suites_report(
             suites, self.detector.auxiliary_asrs)
         similarity_end = time.perf_counter()
@@ -193,6 +200,8 @@ class DetectionPipeline:
             cache_misses=sum(suite.cache_misses for suite in suites),
             score_cache_hits=score_report.cache_hits,
             score_cache_misses=score_report.cache_misses,
+            feature_cache_hits=feature_after.hits - feature_before.hits,
+            feature_cache_misses=feature_after.misses - feature_before.misses,
         ))
 
     def _observed(self, batch: BatchDetectionResult) -> BatchDetectionResult:

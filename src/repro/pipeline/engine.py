@@ -139,14 +139,23 @@ class TranscriptionEngine:
         cache_path: convenience — when given (and ``cache`` is ``True``)
             a private on-disk cache at this path is used instead of the
             shared one.
+        feature_engine: optional :class:`~repro.dsp.engine.FeatureEngine`.
+            When set, suite members that support precomputed features get
+            their front-end matrices from the engine (computed once per
+            (clip, front-end configuration), shared across members and
+            batches through the feature cache) and batches are pre-warmed
+            through the vectorized batch front end.  Transcriptions are
+            identical either way.
     """
 
     def __init__(self, target_asr: ASRSystem, auxiliary_asrs: list[ASRSystem],
                  workers: int | None = None,
                  cache: TranscriptionCache | bool | None = True,
-                 cache_path: str | None = None):
+                 cache_path: str | None = None,
+                 feature_engine=None):
         self.target_asr = target_asr
         self.auxiliary_asrs = list(auxiliary_asrs)
+        self.feature_engine = feature_engine
         n_systems = 1 + len(self.auxiliary_asrs)
         if workers is None:
             workers = resolve_worker_count(n_systems)
@@ -177,6 +186,20 @@ class TranscriptionEngine:
         """Hit/miss statistics of the engine's cache (zeros if disabled)."""
         return self.cache.stats if self.cache is not None else CacheStats()
 
+    @property
+    def feature_stats(self):
+        """Feature-cache statistics (zeros when no feature engine is set).
+
+        Returns a snapshot copy, so callers can diff before/after values
+        around a batch (the live stats object mutates in place).
+        """
+        from dataclasses import replace
+
+        if self.feature_engine is None:
+            from repro.dsp.feature_cache import FeatureCacheStats
+            return FeatureCacheStats()
+        return replace(self.feature_engine.stats)
+
     def _executor(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
@@ -203,9 +226,36 @@ class TranscriptionEngine:
         return self.cache.save(path)
 
     # ---------------------------------------------------------- transcription
+    def _transcribe(self, asr: ASRSystem, audio: Waveform) -> Transcription:
+        """One decode, routed through the feature engine when possible."""
+        if self.feature_engine is not None \
+                and asr.supports_precomputed_features:
+            features = self.feature_engine.features(
+                asr.feature_extractor, audio.samples, audio.sample_rate)
+            return asr.transcribe_with_features(audio, features)
+        return asr.transcribe(audio)
+
+    def _prewarm_features(self, audios: list[Waveform]) -> None:
+        """Batch-fill the feature cache for every clip a member will decode.
+
+        Clips whose transcription is already cached are skipped — their
+        front end will never run.  Each supporting member's missing clips
+        go through the backend's batched front end in one stacked pass.
+        """
+        if self.feature_engine is None:
+            return
+        for asr in self.asr_suite:
+            if not asr.supports_precomputed_features:
+                continue
+            clips = [(audio.samples, audio.sample_rate) for audio in audios
+                     if self.cache is None
+                     or TranscriptionCache.key_for(asr, audio) not in self.cache]
+            if clips:
+                self.feature_engine.prewarm(asr.feature_extractor, clips)
+
     def _run_one(self, asr: ASRSystem, audio: Waveform) -> _TaskResult:
         if self.cache is None:
-            return _TaskResult(asr.transcribe(audio), from_cache=False)
+            return _TaskResult(self._transcribe(asr, audio), from_cache=False)
         key = TranscriptionCache.key_for(asr, audio)
         cached = self.cache.get(key)
         if cached is not None:
@@ -225,9 +275,9 @@ class TranscriptionEngine:
             if cached is not None:
                 return _TaskResult(cached, from_cache=True)
             # The owner failed (or the entry was evicted); decode directly.
-            return _TaskResult(asr.transcribe(audio), from_cache=False)
+            return _TaskResult(self._transcribe(asr, audio), from_cache=False)
         try:
-            result = asr.transcribe(audio)
+            result = self._transcribe(asr, audio)
             self.cache.put(key, result)
         finally:
             event.set()
@@ -271,6 +321,7 @@ class TranscriptionEngine:
         if not audios:
             return []
         start = time.perf_counter()
+        self._prewarm_features(audios)
         suite = self.asr_suite
         if self.workers == 0:
             grid = [[self._run_one(asr, audio) for asr in suite]

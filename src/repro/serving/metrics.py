@@ -72,6 +72,9 @@ class ServingMetrics:
         cache_misses: transcriptions actually decoded.
         score_cache_hits: pair scores served from the pair-score cache.
         score_cache_misses: pair scores actually computed.
+        feature_cache_hits: front-end feature matrices served from the
+            feature cache.
+        feature_cache_misses: front-end feature matrices computed.
     """
 
     stages: dict = field(default_factory=dict)
@@ -81,6 +84,8 @@ class ServingMetrics:
     cache_misses: int = 0
     score_cache_hits: int = 0
     score_cache_misses: int = 0
+    feature_cache_hits: int = 0
+    feature_cache_misses: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -98,6 +103,9 @@ class ServingMetrics:
             self.cache_misses += batch.cache_misses
             self.score_cache_hits += getattr(batch, "score_cache_hits", 0)
             self.score_cache_misses += getattr(batch, "score_cache_misses", 0)
+            self.feature_cache_hits += getattr(batch, "feature_cache_hits", 0)
+            self.feature_cache_misses += getattr(batch,
+                                                 "feature_cache_misses", 0)
             for stage, seconds in batch.stage_seconds.items():
                 self.stages.setdefault(stage, StageStats()).record(n, seconds)
 
@@ -128,6 +136,8 @@ class ServingMetrics:
             }
             cache_lookups = self.cache_hits + self.cache_misses
             score_lookups = self.score_cache_hits + self.score_cache_misses
+            feature_lookups = (self.feature_cache_hits
+                               + self.feature_cache_misses)
             return {
                 "requests": self.requests,
                 "batches": self.batches,
@@ -141,6 +151,11 @@ class ServingMetrics:
                 "score_cache_misses": self.score_cache_misses,
                 "score_cache_hit_rate": (self.score_cache_hits / score_lookups
                                          if score_lookups else 0.0),
+                "feature_cache_hits": self.feature_cache_hits,
+                "feature_cache_misses": self.feature_cache_misses,
+                "feature_cache_hit_rate": (
+                    self.feature_cache_hits / feature_lookups
+                    if feature_lookups else 0.0),
                 "stages": stages,
                 "latency_seconds": {
                     "p50": _percentile(latencies, 0.50),
@@ -164,7 +179,10 @@ class ServingMetrics:
             f"({snap['cache_hits']}/{snap['cache_hits'] + snap['cache_misses']})"
             f"  score cache {snap['score_cache_hit_rate']:.0%} "
             f"({snap['score_cache_hits']}/"
-            f"{snap['score_cache_hits'] + snap['score_cache_misses']})",
+            f"{snap['score_cache_hits'] + snap['score_cache_misses']})"
+            f"  feature cache {snap['feature_cache_hit_rate']:.0%} "
+            f"({snap['feature_cache_hits']}/"
+            f"{snap['feature_cache_hits'] + snap['feature_cache_misses']})",
             f"{'stage':<16}{'clips':>8}{'seconds':>10}{'ms/clip':>10}{'clips/s':>10}",
         ]
         for name in ("recognition", "similarity", "classification", "total"):

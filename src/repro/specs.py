@@ -19,6 +19,7 @@ The tree::
     ├── scoring:    ScoringSpec      # method, backend, pair-score cache
     ├── classifier: ClassifierSpec   # registry name
     ├── pipeline:   PipelineSpec     # workers, transcription cache
+    │   └── features:    FeaturesSpec  # front-end backend + feature cache
     ├── serving:    ServingSpec      # stream windows, micro-batching
     └── training:   TrainingSpec     # scale preset, seed, data source
 
@@ -343,8 +344,56 @@ class ClassifierSpec:
 
 # ------------------------------------------------------------------ pipeline
 @dataclass(frozen=True)
+class FeaturesSpec:
+    """The front-end feature stage: compute backend and feature cache.
+
+    Attributes:
+        backend: feature backend registry name (``"fast"`` — batch
+            vectorized, the default — / ``"reference"`` — the per-clip
+            seed path — / a registered plugin), or ``"off"`` to disable
+            the shared :class:`~repro.dsp.engine.FeatureEngine` entirely
+            so every ASR runs its own front end from raw samples.
+        cache: feature cache policy — ``"shared"``, ``"private"``,
+            ``"off"`` or an on-disk ``.npz`` path (see
+            :func:`repro.dsp.engine.resolve_feature_cache`).
+    """
+
+    backend: str = "fast"
+    cache: str = "shared"
+
+    def to_dict(self) -> dict:
+        return {"backend": self.backend, "cache": self.cache}
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "pipeline.features"
+                  ) -> "FeaturesSpec":
+        data = _expect_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs = {key: _coerce(data[key], str, f"{path}.{key}")
+                  for key in ("backend", "cache") if key in data}
+        return cls(**kwargs)
+
+    def problems(self, path: str = "pipeline.features") -> list[str]:
+        from repro.caching import check_cache_policy
+        from repro.dsp.engine import feature_backend_names
+        out = []
+        if self.backend != "off" \
+                and self.backend not in feature_backend_names():
+            out.append(f"{path}.backend: unknown feature backend "
+                       f"{self.backend!r}; available: "
+                       f"{['off', *feature_backend_names()]}")
+        try:
+            # Policy check only — validation must not read cache files.
+            check_cache_policy(self.cache, "feature-cache policy",
+                               suffixes=(".npz",))
+        except UnknownComponentError as exc:
+            out.append(f"{path}.cache: {exc}")
+        return out
+
+
+@dataclass(frozen=True)
 class PipelineSpec:
-    """The execution layer: transcription fan-out and caching.
+    """The execution layer: transcription fan-out, caching, front end.
 
     Attributes:
         workers: worker-pool size (``0`` = the paper-faithful sequential
@@ -352,13 +401,16 @@ class PipelineSpec:
         cache: transcription cache policy — ``"shared"``, ``"private"``,
             ``"off"`` or an on-disk JSON path (see
             :func:`repro.pipeline.engine.resolve_transcription_cache`).
+        features: the front-end feature stage (see :class:`FeaturesSpec`).
     """
 
     workers: int | None = None
     cache: str = "shared"
+    features: FeaturesSpec = field(default_factory=FeaturesSpec)
 
     def to_dict(self) -> dict:
-        return {"workers": self.workers, "cache": self.cache}
+        return {"workers": self.workers, "cache": self.cache,
+                "features": self.features.to_dict()}
 
     @classmethod
     def from_dict(cls, data: Any, path: str = "pipeline") -> "PipelineSpec":
@@ -370,6 +422,9 @@ class PipelineSpec:
                                         f"{path}.workers", none_ok=True)
         if "cache" in data:
             kwargs["cache"] = _coerce(data["cache"], str, f"{path}.cache")
+        if "features" in data:
+            kwargs["features"] = FeaturesSpec.from_dict(data["features"],
+                                                        f"{path}.features")
         return cls(**kwargs)
 
     def problems(self, path: str = "pipeline") -> list[str]:
@@ -383,6 +438,7 @@ class PipelineSpec:
             check_cache_policy(self.cache, "transcription-cache policy")
         except UnknownComponentError as exc:
             out.append(f"{path}.cache: {exc}")
+        out.extend(self.features.problems(f"{path}.features"))
         return out
 
 
@@ -505,6 +561,8 @@ ENV_OVERLAYS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "REPRO_SCALE": ("training.scale", str),
     "REPRO_WORKERS": ("pipeline.workers", int),
     "REPRO_TRANSCRIPTION_CACHE": ("pipeline.cache", str),
+    "REPRO_FEATURE_BACKEND": ("pipeline.features.backend", str),
+    "REPRO_FEATURE_CACHE": ("pipeline.features.cache", str),
     "REPRO_SCORE_CACHE": ("scoring.cache", str),
     "REPRO_SCORER": ("scoring.scorer", str),
     "REPRO_SCORING_BACKEND": ("scoring.backend", str),
@@ -668,13 +726,10 @@ class DetectorSpec:
         """A copy with the field at ``dotted`` path replaced.
 
         ``spec.with_value("scoring.backend", "reference")`` is the
-        programmatic form of one flag/env overlay.
+        programmatic form of one flag/env overlay.  Paths may descend
+        any number of levels (``"pipeline.features.backend"``).
         """
-        section_name, _, leaf = dotted.partition(".")
-        if not leaf:
-            return replace(self, **{section_name: value})
-        section = getattr(self, section_name)
-        return replace(self, **{section_name: replace(section, **{leaf: value})})
+        return _replace_path(self, dotted, value)
 
     # ------------------------------------------------------------ validation
     def problems(self) -> list[str]:
@@ -706,6 +761,15 @@ class DetectorSpec:
         _VALIDATED_IDS.add(id(self))
         weakref.finalize(self, _VALIDATED_IDS.discard, id(self))
         return self
+
+
+def _replace_path(node: Any, dotted: str, value: Any):
+    """Replace the field at ``dotted`` in a nested frozen-dataclass tree."""
+    head, _, rest = dotted.partition(".")
+    if not rest:
+        return replace(node, **{head: value})
+    return replace(node,
+                   **{head: _replace_path(getattr(node, head), rest, value)})
 
 
 def _transform_specs(transforms: Any) -> list[TransformSpec]:

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
+
+import numpy as np
 
 from repro.text.normalize import tokenize
 
@@ -80,3 +82,41 @@ class BigramLanguageModel:
         unigram = self.unigram_logprob(word)
         # Interpolate lightly so unseen bigrams are not over-penalised.
         return 0.7 * bigram + 0.3 * unigram
+
+    def unigram_logprob_vector(self, words: Sequence[str]) -> np.ndarray:
+        """Per-word :meth:`unigram_logprob` as a float64 vector.
+
+        Context-independent, so decoders compute it once per lexicon and
+        reuse it across every :meth:`word_scores` call.
+        """
+        return np.array([self.unigram_logprob(word) for word in words],
+                        dtype=np.float64)
+
+    def word_scores(self, prev: str | None, words: Sequence[str],
+                    unigram_logprobs: np.ndarray | None = None) -> np.ndarray:
+        """Vectorized :meth:`word_score` over a word list.
+
+        Bit-identical per entry to scalar :meth:`word_score` calls: most
+        words share the context's unseen-bigram probability (one
+        ``math.log`` on the same operands as the scalar path), the sparse
+        observed bigrams are filled in individually, and the final
+        ``0.7 * bigram + 0.3 * unigram`` mix is the same two IEEE double
+        multiplies and add per element.
+        """
+        prev_token = BOS if prev is None else prev
+        vocab = max(1, self.vocabulary_size)
+        following = self._bigrams.get(prev_token)
+        context_total = sum(following.values()) if following else 0
+        denominator = context_total + self.k * vocab
+        bigrams = np.full(len(words), math.log((0 + self.k) / denominator),
+                          dtype=np.float64)
+        if following:
+            index = {word: i for i, word in enumerate(words)}
+            for word, count in following.items():
+                i = index.get(word)
+                if i is not None:
+                    bigrams[i] = math.log((count + self.k) / denominator)
+        if unigram_logprobs is None:
+            unigram_logprobs = self.unigram_logprob_vector(words)
+        return 0.7 * bigrams + 0.3 * np.asarray(unigram_logprobs,
+                                                dtype=np.float64)

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.text.normalize import normalize_text, tokenize
 
 
@@ -27,6 +29,72 @@ def edit_distance(reference: Sequence, hypothesis: Sequence) -> int:
             current[j] = min(previous[j] + 1, current[j - 1] + 1, substitution)
         previous = current
     return previous[hyp_len]
+
+
+def levenshtein_codes_batch(matrix: np.ndarray, lengths: np.ndarray,
+                            hypothesis_codes: np.ndarray) -> np.ndarray:
+    """Levenshtein distances from pre-encoded references to one hypothesis.
+
+    ``matrix`` holds one reference per row as integer token codes (padded
+    with any code that never appears in a hypothesis, e.g. ``-1``),
+    ``lengths`` the true reference lengths.  Vectorizes the DP across the
+    reference set: one row update per reference-token position, with the
+    in-row insertion cascade resolved by a prefix-minimum
+    (``cur[j] = min_k<=j (tmp[k] + j - k)``).  Pure integer arithmetic,
+    so the result equals per-pair :func:`edit_distance` calls exactly —
+    this is the kernel behind the decoder's fast lexicon search.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n_refs = lengths.shape[0]
+    m = int(hypothesis_codes.shape[0])
+    distances = np.empty(n_refs, dtype=np.int64)
+    if n_refs == 0:
+        return distances
+    max_len = int(lengths.max())
+    distances[lengths == 0] = m
+    offsets = np.arange(m + 1)
+    prev = np.tile(offsets, (n_refs, 1))
+    tmp = np.empty_like(prev)
+    for i in range(1, max_len + 1):
+        substitution = prev[:, :-1] + (matrix[:, i - 1, None]
+                                       != hypothesis_codes[None, :])
+        tmp[:, 0] = i
+        tmp[:, 1:] = np.minimum(prev[:, 1:] + 1, substitution)
+        cur = offsets + np.minimum.accumulate(tmp - offsets, axis=1)
+        finished = lengths == i
+        if finished.any():
+            distances[finished] = cur[finished, m]
+        prev = cur
+    return distances
+
+
+def batched_edit_distances(references: list[Sequence],
+                           hypothesis: Sequence) -> np.ndarray:
+    """Levenshtein distance from every reference to one hypothesis.
+
+    Encodes the token sequences and runs :func:`levenshtein_codes_batch`;
+    callers that score many hypotheses against a fixed reference set
+    (the word decoder) pre-encode the references once instead.
+    """
+    n_refs = len(references)
+    if n_refs == 0:
+        return np.empty(0, dtype=np.int64)
+    codes: dict = {}
+
+    def code(token) -> int:
+        if token not in codes:
+            codes[token] = len(codes)
+        return codes[token]
+
+    hyp = np.array([code(token) for token in hypothesis], dtype=np.int32) \
+        if len(hypothesis) else np.zeros(0, dtype=np.int32)
+    lengths = np.array([len(ref) for ref in references], dtype=np.int64)
+    max_len = int(lengths.max())
+    matrix = np.full((n_refs, max(1, max_len)), -1, dtype=np.int32)
+    for i, ref in enumerate(references):
+        for j, token in enumerate(ref):
+            matrix[i, j] = code(token)
+    return levenshtein_codes_batch(matrix, lengths, hyp)
 
 
 def word_error_rate(reference: str, hypothesis: str) -> float:

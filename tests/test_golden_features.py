@@ -1,0 +1,64 @@
+"""Golden-fixture regression test for the front-end feature kernels.
+
+``tests/fixtures/golden_features.npz`` holds the raw samples and the
+reference MFCC / LPCC feature matrices of three fixed utterances,
+computed by the seed library's per-clip path when the vectorized front
+end landed.  Both backends must reproduce the stored matrices *exactly*
+(``np.array_equal``): any change to the DSP arithmetic — reordered
+reductions, dtype drift, a "harmless" refactor of the Levinson-Durbin
+recursion — fails this test even if the hypothesis parity tests still
+pass (those only pin fast == reference, not either == history).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.dsp.engine import get_feature_backend
+from repro.dsp.features import LpcFeatureExtractor, MfccFeatureExtractor
+
+FIXTURE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "fixtures", "golden_features.npz")
+N_UTTERANCES = 3
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with np.load(FIXTURE, allow_pickle=False) as payload:
+        return {key: payload[key] for key in payload.files}
+
+
+@pytest.fixture(scope="module")
+def extractors():
+    return {"mfcc": MfccFeatureExtractor(), "lpc": LpcFeatureExtractor()}
+
+
+def test_fixture_has_three_utterances(golden):
+    assert list(golden["sentences"].shape) == [N_UTTERANCES]
+    for i in range(N_UTTERANCES):
+        assert golden[f"samples_{i}"].ndim == 1
+        assert golden[f"mfcc_{i}"].shape[1] == MfccFeatureExtractor().feature_dim
+        assert golden[f"lpc_{i}"].shape[1] == LpcFeatureExtractor().feature_dim
+
+
+@pytest.mark.parametrize("backend_name", ["reference", "fast"])
+@pytest.mark.parametrize("family", ["mfcc", "lpc"])
+def test_backends_reproduce_golden_features(golden, extractors, backend_name,
+                                            family):
+    backend = get_feature_backend(backend_name)
+    extractor = extractors[family]
+    for i in range(N_UTTERANCES):
+        features = backend.features(extractor, golden[f"samples_{i}"], 16_000)
+        assert features.dtype == np.float64
+        assert np.array_equal(features, golden[f"{family}_{i}"]), \
+            f"{backend_name} backend diverged from golden {family} " \
+            f"features of utterance {i} ({golden['sentences'][i]!r})"
+
+
+@pytest.mark.parametrize("family", ["mfcc", "lpc"])
+def test_batched_path_reproduces_golden_features(golden, extractors, family):
+    extractor = extractors[family]
+    batch = [golden[f"samples_{i}"] for i in range(N_UTTERANCES)]
+    for i, features in enumerate(extractor.transform_batch(batch)):
+        assert np.array_equal(features, golden[f"{family}_{i}"])
