@@ -21,7 +21,8 @@ from repro.asr.registry import (
     register_asr,
     unregister_asr,
 )
-from repro.build import build, build_batcher, build_pipeline, build_streaming
+from repro.build import (build, build_batcher, build_pipeline,
+                         build_service, build_streaming)
 from repro.attacks.blackbox import BlackBoxGeneticAttack
 from repro.attacks.whitebox import WhiteBoxCarliniAttack
 from repro.audio.waveform import Waveform
@@ -51,6 +52,8 @@ from repro.serving.aggregator import (
 from repro.serving.batcher import MicroBatcher
 from repro.serving.chunker import StreamConfig, StreamWindow, chunk_waveform
 from repro.serving.metrics import ServingMetrics
+from repro.serving.service import (DetectionService, ServeResult,
+                                   load_manifest)
 from repro.serving.streaming import StreamingDetector, StreamSession
 from repro.similarity.engine import (
     SimilarityEngine,
@@ -82,6 +85,7 @@ __all__ = [
     "build",
     "build_batcher",
     "build_pipeline",
+    "build_service",
     "build_streaming",
     "ASRSpec",
     "ClassifierSpec",
@@ -129,6 +133,9 @@ __all__ = [
     "ServingMetrics",
     "StreamingDetector",
     "StreamSession",
+    "DetectionService",
+    "ServeResult",
+    "load_manifest",
     "SimilarityEngine",
     "get_scoring_backend",
     "register_scoring_backend",

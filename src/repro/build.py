@@ -289,6 +289,21 @@ def build_streaming(spec: DetectorSpec | Mapping | str | None = None,
     return StreamingDetector.from_spec(resolve_spec(spec), detector=detector)
 
 
+def build_service(manifest: Mapping | str | None = None, *,
+                  fit: bool = True, start: bool = False):
+    """A :class:`~repro.serving.service.DetectionService` from a manifest.
+
+    ``manifest`` is a tenant manifest (dict or JSON path with a
+    ``"tenants"`` key) or anything :func:`resolve_spec` accepts, which
+    becomes a single-tenant service named ``"default"``.  Pass
+    ``start=True`` to fork the worker pool immediately; otherwise call
+    ``start()`` (or use the service as a context manager) yourself.
+    """
+    from repro.serving.service import DetectionService
+    service = DetectionService.from_manifest(manifest, fit=fit)
+    return service.start() if start else service
+
+
 def build_batcher(spec: DetectorSpec | Mapping | str | None = None,
                   pipeline=None, metrics=None):
     """A :class:`MicroBatcher` configured from ``spec.serving``.

@@ -23,7 +23,8 @@ def _path_like(value: str, suffixes: tuple[str, ...]) -> bool:
 
 
 def check_cache_policy(spec, kind: str,
-                       suffixes: tuple[str, ...] = (".json",)) -> None:
+                       suffixes: tuple[str, ...] = (".json", ".jsonl")
+                       ) -> None:
     """Validate a policy without constructing (or reading) any cache.
 
     Raises :class:`UnknownComponentError` for a mistyped policy name;
@@ -39,7 +40,7 @@ def check_cache_policy(spec, kind: str,
 
 def resolve_cache_policy(spec, cache_type: type, kind: str,
                          make_shared: Callable[[], object] | None = None,
-                         suffixes: tuple[str, ...] = (".json",)):
+                         suffixes: tuple[str, ...] = (".json", ".jsonl")):
     """Coerce a cache policy into an engine ``cache`` argument.
 
     Accepted policies: an instance of ``cache_type`` (used as given), a
@@ -48,8 +49,11 @@ def resolve_cache_policy(spec, cache_type: type, kind: str,
     in-memory cache) or a path-like string (an on-disk store — must
     contain a path separator or end in one of ``suffixes``, so a
     mistyped policy name errors instead of silently creating a cache
-    file).  ``suffixes`` follows the store's format: ``.json`` for the
-    transcription and pair-score caches, ``.npz`` for the feature cache.
+    file).  ``suffixes`` follows the store's formats: ``.json``
+    (snapshot) / ``.jsonl`` (append-only journal, multi-process safe)
+    for the transcription and pair-score caches; ``.npz`` (snapshot)
+    for the feature cache, whose separator-containing paths without
+    that suffix select a content-addressed directory store instead.
     """
     if isinstance(spec, cache_type) or isinstance(spec, bool):
         return spec

@@ -4,9 +4,11 @@ Exposes the whole detection stack without writing Python::
 
     python -m repro screen clip.wav other.wav   # batch-screen WAV clips
     python -m repro stream recording.wav        # windowed streaming verdicts
+    python -m repro serve tenants.json          # multi-process service demo
     python -m repro bench                       # serving-layer benchmark
     python -m repro bench-similarity            # scoring-backend benchmark
     python -m repro bench-pipeline              # end-to-end pipeline benchmark
+    python -m repro bench-serve                 # concurrent-service benchmark
     python -m repro config show                 # effective detector spec
     python -m repro config validate cfg.json    # schema-check config files
 
@@ -33,7 +35,12 @@ per-clip reference recognition against the vectorized batched front end
 (cold and warm feature cache), requires bit-identical transcriptions,
 and writes ``BENCH_pipeline.json``.  ``--feature-backend`` /
 ``--feature-cache`` shape the front-end feature engine (see
-docs/FEATURES.md).
+docs/FEATURES.md).  ``serve`` starts the multi-process
+:class:`~repro.serving.service.DetectionService` from a tenant manifest
+(see docs/SERVING.md) and drives a synthetic request burst through its
+asyncio front door; ``bench-serve`` measures that service at 100+
+concurrent streams against the sequential path, requires bit-identical
+verdicts, and writes ``BENCH_serve.json``.
 
 Exit status: ``screen`` and ``stream`` exit 1 when anything was flagged
 adversarial (so shell scripts can gate on the verdict), 0 otherwise;
@@ -165,6 +172,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 2)")
     add_detector_options(stream)
 
+    serve = commands.add_parser(
+        "serve", help="run the multi-process detection service on a "
+                      "synthetic request burst")
+    serve.add_argument("manifest", nargs="?", default=None,
+                       help="tenant manifest JSON (default: one 'default' "
+                            "tenant running the paper's system)")
+    serve.add_argument("--requests", type=int, default=16,
+                       help="concurrent requests to drive (default: 16)")
+    serve.add_argument("--clips", type=int, default=6,
+                       help="distinct synthesised utterances cycled across "
+                            "the requests (default: 6)")
+    serve.add_argument("--tenant", default=None,
+                       help="tenant to address (default: every tenant, "
+                            "round-robin)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="override the manifest's worker count")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="override the per-request deadline in seconds")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload sampling seed (default: 0)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit one JSON object per request plus a "
+                            "summary instead of text")
+
     bench = commands.add_parser(
         "bench", help="benchmark sequential vs batched vs micro-batched serving")
     bench.add_argument("--clips", type=int, default=12,
@@ -220,6 +251,34 @@ def build_parser() -> argparse.ArgumentParser:
     bench_pipe.add_argument("--json", action="store_true",
                             help="print the JSON report instead of the "
                                  "human-readable summary")
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="benchmark the multi-process service at high concurrency "
+             "against the sequential path")
+    bench_serve.add_argument("--streams", type=int, default=100,
+                             help="concurrent detection streams "
+                                  "(default: 100)")
+    bench_serve.add_argument("--clips", type=int, default=12,
+                             help="distinct synthesised utterances cycled "
+                                  "across the streams (default: 12)")
+    bench_serve.add_argument("--workers", type=int, default=2,
+                             help="worker process count (default: 2)")
+    bench_serve.add_argument("--seed", type=int, default=0,
+                             help="workload sampling seed (default: 0)")
+    bench_serve.add_argument("--timeout", type=float, default=120.0,
+                             help="per-request deadline in seconds "
+                                  "(default: 120)")
+    bench_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="shared on-disk cache directory for the "
+                                  "worker pool (default: none)")
+    bench_serve.add_argument("--output", default="BENCH_serve.json",
+                             metavar="PATH",
+                             help="where to write the machine-readable "
+                                  "report (default: BENCH_serve.json)")
+    bench_serve.add_argument("--json", action="store_true",
+                             help="print the JSON report instead of the "
+                                  "human-readable summary")
 
     config = commands.add_parser(
         "config", help="show the effective detector spec / validate config files")
@@ -631,6 +690,122 @@ def cmd_bench_similarity(args: argparse.Namespace) -> int:
     return 0
 
 
+# -------------------------------------------------------------------- serve
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving.bench import benchmark_clips
+    from repro.serving.service import DetectionService, load_manifest
+
+    if args.requests < 1:
+        raise CliError("--requests must be >= 1")
+    if args.clips < 1:
+        raise CliError("--clips must be >= 1")
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        raise CliError(f"cannot read manifest: {exc}") from exc
+    serving = dict(manifest.get("serving") or {})
+    if args.workers is not None:
+        serving["workers"] = args.workers
+    if args.timeout is not None:
+        serving["request_timeout_seconds"] = args.timeout
+    manifest["serving"] = serving
+    try:
+        service = DetectionService.from_manifest(manifest)
+    except Exception as exc:
+        raise CliError(f"cannot build service: {exc}") from exc
+    tenants = sorted(service.pipelines)
+    if args.tenant is not None:
+        if args.tenant not in service.pipelines:
+            raise CliError(f"unknown tenant {args.tenant!r} "
+                           f"(manifest has: {', '.join(tenants)})")
+        tenants = [args.tenant]
+    clips = benchmark_clips(args.clips, args.seed)
+
+    async def drive():
+        return await asyncio.gather(*[
+            service.asubmit(tenants[i % len(tenants)],
+                            clips[i % len(clips)], request_id=f"r{i}")
+            for i in range(args.requests)])
+
+    with service:
+        start = time.perf_counter()
+        results = asyncio.run(drive())
+        wall = time.perf_counter() - start
+    stats = service.stats
+    flagged = sum(1 for r in results if r.ok and r.is_adversarial)
+    if args.json:
+        for r in results:
+            print(json.dumps({
+                "request_id": r.request_id, "tenant": r.tenant,
+                "status": r.status, "code": r.code,
+                "is_adversarial": r.is_adversarial,
+                "total_ms": round(1000 * r.total_seconds, 3)}))
+        print(json.dumps({
+            "requests": len(results), "wall_seconds": wall,
+            "completed": stats.completed, "rejected": stats.rejected,
+            "timeouts": stats.timeouts, "errors": stats.errors,
+            "respawns": stats.respawns, "flagged": flagged}))
+    else:
+        for r in results:
+            verdict = ("ADVERSARIAL" if r.is_adversarial else "benign") \
+                if r.ok else f"{r.status.upper()} ({r.code}) {r.detail}"
+            print(f"{r.request_id:>6}  {r.tenant:<12} {verdict:<32} "
+                  f"{1000 * r.total_seconds:8.1f} ms")
+        print(f"{len(results)} requests over {len(tenants)} tenant"
+              f"{'s' if len(tenants) != 1 else ''} in {wall:.2f} s "
+              f"({len(results) / wall:,.1f} req/s): "
+              f"{stats.completed} ok, {stats.rejected} shed, "
+              f"{stats.timeouts} timed out, {stats.errors} errors"
+              + (f", {stats.respawns} respawns" if stats.respawns else ""))
+    return 1 if flagged else 0
+
+
+# -------------------------------------------------------------- bench-serve
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serving.bench import run_serve_benchmark
+
+    if args.streams < 1:
+        raise CliError("--streams must be >= 1")
+    if args.clips < 1:
+        raise CliError("--clips must be >= 1")
+    if args.workers < 1:
+        raise CliError("--workers must be >= 1")
+    report = run_serve_benchmark(
+        n_streams=args.streams, n_clips=args.clips, workers=args.workers,
+        seed=args.seed, timeout_seconds=args.timeout,
+        cache_dir=args.cache_dir)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    if report["parity_mismatches"] != 0:
+        # The service's contract is the sequential path's verdicts,
+        # bit for bit; a divergence is a defect, not a benchmark result.
+        raise CliError(
+            f"serving parity violation: {report['parity_mismatches']} of "
+            f"{report['n_streams']} streams diverged from the sequential "
+            f"path ({report['failed_requests']} resolved to non-ok "
+            f"results; report in {args.output})")
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    service = report["service"]
+    sequential = report["sequential"]
+    print(f"workload: {report['n_streams']} concurrent streams over "
+          f"{report['n_clips']} distinct clips, {report['workers']} workers")
+    print(f"service    {service['wall_seconds']:8.3f} s  "
+          f"{service['throughput_rps']:8.1f} req/s  "
+          f"p50 {service['p50_ms']:7.1f} ms  p99 {service['p99_ms']:7.1f} ms")
+    print(f"sequential {sequential['wall_seconds']:8.3f} s  "
+          f"{sequential['throughput_rps']:8.1f} req/s  "
+          f"per-request {sequential['per_request_ms']:7.1f} ms")
+    stats = report["stats"]
+    print(f"parity: 0 of {report['n_streams']} verdicts diverged; "
+          f"{stats['retries']} retries, {stats['respawns']} respawns "
+          f"(report written to {args.output})")
+    return 0
+
+
 # ----------------------------------------------------------- bench-pipeline
 def cmd_bench_pipeline(args: argparse.Namespace) -> int:
     from repro.pipeline.bench import run_pipeline_benchmark
@@ -667,6 +842,46 @@ def cmd_bench_pipeline(args: argparse.Namespace) -> int:
 
 
 # ------------------------------------------------------------------- config
+def _validate_config_file(path: str) -> None:
+    """Schema-check one config file: a DetectorSpec or a serve manifest.
+
+    A JSON object with a top-level ``"tenants"`` key is a serve manifest
+    (see ``repro serve``): every tenant spec — inline or referenced by a
+    relative path — is validated, as is the serving overlay.
+    """
+    import json
+
+    from repro.serving.service import load_manifest
+    from repro.specs import DetectorSpec, InvalidSpecError, ServingSpec
+
+    with open(path, encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if not (isinstance(raw, dict) and "tenants" in raw):
+        DetectorSpec.from_json(path).validate()
+        return
+    manifest = load_manifest(path)
+    if not manifest["tenants"]:
+        raise ValueError("serve manifest declares no tenants")
+    for tenant, entry in manifest["tenants"].items():
+        if entry is None:
+            continue  # tenant uses the default spec
+        if isinstance(entry, str):
+            spec = DetectorSpec.from_json(entry)
+        else:
+            spec = DetectorSpec.from_dict(entry)
+        try:
+            spec.validate()
+        except InvalidSpecError as exc:
+            raise InvalidSpecError(
+                [f"tenant {tenant!r}: {problem}"
+                 for problem in exc.problems]) from exc
+    overlay = manifest.get("serving") or {}
+    serving = ServingSpec.from_dict({**ServingSpec().to_dict(), **overlay})
+    problems = serving.problems("serving")
+    if problems:
+        raise InvalidSpecError(problems)
+
+
 def cmd_config(args: argparse.Namespace) -> int:
     from repro.specs import DetectorSpec, InvalidSpecError
 
@@ -684,8 +899,8 @@ def cmd_config(args: argparse.Namespace) -> int:
         failures = 0
         for path in args.path:
             try:
-                DetectorSpec.from_json(path).validate()
-            except (InvalidSpecError, OSError) as exc:
+                _validate_config_file(path)
+            except (InvalidSpecError, OSError, ValueError) as exc:
                 failures += 1
                 print(f"FAIL {path}: {exc}")
             else:
@@ -707,8 +922,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 0
     handlers = {"screen": cmd_screen, "stream": cmd_stream, "bench": cmd_bench,
+                "serve": cmd_serve,
                 "bench-similarity": cmd_bench_similarity,
                 "bench-pipeline": cmd_bench_pipeline,
+                "bench-serve": cmd_bench_serve,
                 "config": cmd_config}
     try:
         return handlers[args.command](args)

@@ -16,10 +16,21 @@ The cache key is the extractor's configuration tag
 (:attr:`~repro.dsp.features.FeatureExtractor.cache_tag`) plus a content
 hash of the raw samples and the sample rate, so two clips with identical
 audio share one entry regardless of where the audio came from.  Storage
-is a thread-safe in-memory LRU, optionally backed by an ``.npz`` file on
-disk, mirroring the other two caches' API and statistics.  Cached
-matrices are stored read-only so a consumer cannot corrupt entries that
-later lookups will share.
+is a thread-safe in-memory LRU, optionally backed on disk, mirroring
+the other two caches' API and statistics.  Cached matrices are stored
+read-only so a consumer cannot corrupt entries that later lookups will
+share.
+
+Two disk formats, chosen by the path:
+
+* an ``.npz`` path — a snapshot file, written atomically (temp file +
+  ``os.replace``) by an explicit :meth:`save`;
+* any other path — a content-addressed *directory* of one atomically
+  written ``.npz`` file per entry
+  (:class:`repro.store.ContentDirectoryStore`), safe for any number of
+  concurrent processes: misses fall through to the directory, puts
+  write through to it.  This is the store the multi-worker serving
+  layer points its workers at.
 """
 
 from __future__ import annotations
@@ -67,8 +78,10 @@ class FeatureCache:
     Args:
         capacity: maximum number of entries kept in memory; the least
             recently used entry is evicted first.
-        path: optional ``.npz`` file backing the cache on disk.  Existing
-            entries are loaded eagerly; call :meth:`save` to persist.
+        path: optional on-disk store — an ``.npz`` snapshot file
+            (loaded eagerly; call :meth:`save` to persist) or a
+            content-addressed directory shared across processes
+            (write-through puts, lazy per-key reads).
     """
 
     def __init__(self, capacity: int = 2048, path: str | None = None):
@@ -79,7 +92,11 @@ class FeatureCache:
         self.stats = FeatureCacheStats()
         self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
         self._lock = threading.Lock()
-        if path is not None and os.path.exists(path):
+        self._store = None
+        if path is not None and not _is_snapshot_path(path):
+            from repro.store import ContentDirectoryStore
+            self._store = ContentDirectoryStore(path)
+        elif path is not None and os.path.exists(path):
             self.load(path)
 
     @staticmethod
@@ -101,21 +118,40 @@ class FeatureCache:
         return key in self._entries
 
     def get(self, key: str) -> np.ndarray | None:
-        """Look up ``key``, updating LRU order and hit/miss statistics."""
+        """Look up ``key``, updating LRU order and hit/miss statistics.
+
+        In directory mode a memory miss falls through to the on-disk
+        store, so entries other processes wrote count as hits here.
+        """
         with self._lock:
             value = self._entries.get(key)
-            if value is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return value
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return value
+        if self._store is not None:
+            loaded = self._store.read(key)
+            if loaded is not None:
+                loaded.flags.writeable = False
+                with self._lock:
+                    self._entries[key] = loaded
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.stats.evictions += 1
+                return loaded
+        with self._lock:
+            self.stats.misses += 1
+        return None
 
     def put(self, key: str, features: np.ndarray) -> None:
         """Store ``features`` under ``key``, evicting the LRU entry if full.
 
         The matrix is copied and frozen (non-writeable), so later
-        mutation by the caller cannot corrupt the shared entry.
+        mutation by the caller cannot corrupt the shared entry.  In
+        directory mode the entry is also written through to the
+        content-addressed store (atomically, per entry).
         """
         value = np.array(features, dtype=np.float64, copy=True)
         value.flags.writeable = False
@@ -125,6 +161,8 @@ class FeatureCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+        if self._store is not None:
+            self._store.write(key, value)
 
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
@@ -134,21 +172,33 @@ class FeatureCache:
 
     # ------------------------------------------------------------ disk store
     def save(self, path: str | None = None) -> str:
-        """Write the cache to ``path`` (default: the constructor path)."""
+        """Write the cache to ``path`` (default: the constructor path).
+
+        ``.npz`` snapshots are written atomically (temp file +
+        ``os.replace``); a directory path writes every in-memory entry
+        through the content-addressed store (each entry atomic).
+        """
+        import io
+
+        from repro.store import ContentDirectoryStore, atomic_write_bytes
+
         path = path or self.path
         if path is None:
             raise ValueError("no path given and cache has no backing file")
         with self._lock:
-            keys = list(self._entries.keys())
-            arrays = {f"arr_{i}": value
-                      for i, value in enumerate(self._entries.values())}
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        # Write through a file handle so numpy does not append ".npz" to
-        # paths that spell the extension differently.
-        with open(path, "wb") as handle:
-            np.savez(handle, __keys__=np.array(keys, dtype=str), **arrays)
+            entries = list(self._entries.items())
+        if not _is_snapshot_path(path):
+            store = (self._store
+                     if self._store is not None and path == self.path
+                     else ContentDirectoryStore(path))
+            for key, value in entries:
+                store.write(key, value)
+            return path
+        buffer = io.BytesIO()
+        keys = [key for key, _ in entries]
+        arrays = {f"arr_{i}": value for i, (_, value) in enumerate(entries)}
+        np.savez(buffer, __keys__=np.array(keys, dtype=str), **arrays)
+        atomic_write_bytes(path, buffer.getvalue())
         return path
 
     def load(self, path: str | None = None) -> int:
@@ -156,10 +206,17 @@ class FeatureCache:
         path = path or self.path
         if path is None:
             raise ValueError("no path given and cache has no backing file")
-        with np.load(path, allow_pickle=False) as payload:
-            keys = [str(key) for key in payload["__keys__"]]
-            entries = [(key, payload[f"arr_{i}"])
-                       for i, key in enumerate(keys)]
+        if not _is_snapshot_path(path):
+            from repro.store import ContentDirectoryStore
+            store = (self._store
+                     if self._store is not None and path == self.path
+                     else ContentDirectoryStore(path))
+            entries = store.items()
+        else:
+            with np.load(path, allow_pickle=False) as payload:
+                keys = [str(key) for key in payload["__keys__"]]
+                entries = [(key, payload[f"arr_{i}"])
+                           for i, key in enumerate(keys)]
         with self._lock:
             for key, value in entries:
                 value = np.asarray(value, dtype=np.float64)
@@ -170,3 +227,8 @@ class FeatureCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
         return len(entries)
+
+
+def _is_snapshot_path(path: str) -> bool:
+    """Whether a cache path is an ``.npz`` snapshot (vs a directory store)."""
+    return os.fspath(path).endswith(".npz")

@@ -17,8 +17,17 @@ be the same system; custom variants with identical names but different
 configuration must use distinct names or a private cache
 (``cache=False`` / a dedicated :class:`TranscriptionCache`).
 
-Storage is a thread-safe in-memory LRU, optionally backed by a JSON file
-on disk so repeated experiment *runs* (new processes) skip decoding too.
+Storage is a thread-safe in-memory LRU, optionally backed by a store on
+disk so repeated experiment *runs* (new processes) skip decoding too.
+Two disk formats are supported, chosen by the path suffix:
+
+* ``.json`` — a snapshot file, written atomically (temp file +
+  ``os.replace``, see :mod:`repro.store`) by an explicit :meth:`save`;
+* ``.jsonl`` — an append-only journal shared by concurrent *processes*:
+  every :meth:`put` appends its entry immediately (write-through), and
+  :meth:`refresh` merges entries other processes appended since the
+  last look.  This is the store the multi-worker serving layer
+  (:mod:`repro.serving.service`) points its workers at.
 """
 
 from __future__ import annotations
@@ -96,8 +105,11 @@ class TranscriptionCache:
     Args:
         capacity: maximum number of entries kept in memory; the least
             recently used entry is evicted first.
-        path: optional JSON file backing the cache on disk.  Existing
-            entries are loaded eagerly; call :meth:`save` to persist.
+        path: optional on-disk store.  A ``.jsonl`` path is an
+            append-only journal (write-through puts, concurrent-process
+            safe, see the module docstring); any other path is a JSON
+            snapshot file written by an explicit :meth:`save`.  Existing
+            entries are loaded eagerly.
     """
 
     def __init__(self, capacity: int = 4096, path: str | None = None):
@@ -108,7 +120,12 @@ class TranscriptionCache:
         self.stats = CacheStats()
         self._entries: OrderedDict[str, Transcription] = OrderedDict()
         self._lock = threading.Lock()
-        if path is not None and os.path.exists(path):
+        self._journal = None
+        if path is not None and _is_journal_path(path):
+            from repro.store import Journal
+            self._journal = Journal(path)
+            self.refresh()
+        elif path is not None and os.path.exists(path):
             self.load(path)
 
     @staticmethod
@@ -139,12 +156,44 @@ class TranscriptionCache:
             return result
 
     def put(self, key: str, result: Transcription) -> None:
-        """Store ``result`` under ``key``, evicting the LRU entry if full."""
+        """Store ``result`` under ``key``, evicting the LRU entry if full.
+
+        In journal mode the entry is also appended to the on-disk
+        journal immediately (write-through), so other processes sharing
+        the path see it on their next :meth:`refresh`.
+        """
         with self._lock:
             self._entries[key] = result
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+        if self._journal is not None:
+            self._journal.append({"k": key,
+                                  "v": _transcription_to_json(result)})
+
+    def refresh(self) -> int:
+        """Merge journal entries other processes appended; returns count.
+
+        Only meaningful in journal mode (``.jsonl`` path); a no-op that
+        returns 0 otherwise.  Merged entries do not touch the hit/miss
+        statistics.
+        """
+        if self._journal is None:
+            return 0
+        records = self._journal.replay()
+        merged = 0
+        with self._lock:
+            for record in records:
+                try:
+                    entry = _transcription_from_json(record["v"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self._entries[record["k"]] = entry
+                self._entries.move_to_end(record["k"])
+                merged += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return merged
 
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
@@ -154,18 +203,30 @@ class TranscriptionCache:
 
     # ------------------------------------------------------------ disk store
     def save(self, path: str | None = None) -> str:
-        """Write the cache to ``path`` (default: the constructor path)."""
+        """Write the cache to ``path`` (default: the constructor path).
+
+        Snapshot paths are written atomically (temp file +
+        ``os.replace``), so a crash mid-save leaves the previous store
+        intact.  Saving to the cache's own journal path compacts the
+        journal to the current in-memory snapshot — a single-writer
+        operation (see :meth:`repro.store.Journal.rewrite`).
+        """
+        from repro.store import Journal, atomic_write_text
+
         path = path or self.path
         if path is None:
             raise ValueError("no path given and cache has no backing file")
         with self._lock:
             payload = {key: _transcription_to_json(result)
                        for key, result in self._entries.items()}
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        if _is_journal_path(path):
+            journal = (self._journal
+                       if self._journal is not None and path == self.path
+                       else Journal(path))
+            journal.rewrite({"k": key, "v": value}
+                            for key, value in payload.items())
+        else:
+            atomic_write_text(path, json.dumps(payload))
         return path
 
     def load(self, path: str | None = None) -> int:
@@ -173,8 +234,14 @@ class TranscriptionCache:
         path = path or self.path
         if path is None:
             raise ValueError("no path given and cache has no backing file")
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
+        if _is_journal_path(path):
+            from repro.store import Journal
+            payload = {record["k"]: record["v"]
+                       for record in Journal(path).replay()
+                       if "k" in record and "v" in record}
+        else:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
         with self._lock:
             for key, entry in payload.items():
                 self._entries[key] = _transcription_from_json(entry)
@@ -182,3 +249,8 @@ class TranscriptionCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
         return len(payload)
+
+
+def _is_journal_path(path: str) -> bool:
+    """Whether a cache path selects the append-only journal format."""
+    return os.fspath(path).endswith(".jsonl")

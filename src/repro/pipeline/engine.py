@@ -213,6 +213,20 @@ class TranscriptionEngine:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def reset_after_fork(self) -> None:
+        """Discard runtime state that does not survive ``os.fork``.
+
+        The executor's threads and any single-flight waiters live only
+        in the parent process; a forked child that inherited them would
+        submit work no thread will ever run.  Worker processes call
+        this before serving their first batch.  The child is
+        single-threaded at that point, so no locking is needed (and the
+        inherited lock itself may have been snapshotted held).
+        """
+        self._pool = None
+        self._inflight = {}
+        self._inflight_lock = threading.Lock()
+
     def __enter__(self) -> "TranscriptionEngine":
         return self
 

@@ -15,6 +15,9 @@ detector sitting on the serving path of a voice assistant, Section V-I):
   micro-batching scheduler for concurrent single-clip requests.
 * :mod:`repro.serving.metrics` — :class:`ServingMetrics`, per-stage
   throughput/latency counters surfaced by ``repro bench``.
+* :mod:`repro.serving.service` — :class:`DetectionService`, the
+  multi-tenant multi-process front door (admission control, deadlines,
+  crash recovery, shared caches) behind ``repro serve``.
 
 See ``docs/SERVING.md`` for the full tour and ``docs/API.md`` for the
 stable public surface.
@@ -36,6 +39,12 @@ from repro.serving.chunker import (
     iter_windows,
 )
 from repro.serving.metrics import ServingMetrics, StageStats
+from repro.serving.service import (
+    DetectionService,
+    ServeResult,
+    ServiceStats,
+    load_manifest,
+)
 from repro.serving.streaming import StreamingDetector, StreamSession
 
 __all__ = [
@@ -53,6 +62,10 @@ __all__ = [
     "iter_windows",
     "ServingMetrics",
     "StageStats",
+    "DetectionService",
+    "ServeResult",
+    "ServiceStats",
+    "load_manifest",
     "StreamingDetector",
     "StreamSession",
 ]

@@ -1,0 +1,139 @@
+"""The serving benchmark (``repro bench-serve``).
+
+Drives a :class:`~repro.serving.service.DetectionService` with a burst
+of concurrent detection streams through the asyncio front door, then
+replays the identical workload through the single-process sequential
+path, and reports latency percentiles and throughput **only if the two
+paths agree bitwise** on every verdict and every score vector.  A
+divergence (or any request that resolved to a non-``ok`` typed result)
+zeroes out the performance section — a number measured on wrong
+answers is a defect, not a benchmark result; the CLI turns it into a
+hard error after writing the report.
+
+The workload cycles ``n_clips`` distinct synthetic utterances (same
+corpus as the other benchmarks) across ``n_streams`` concurrent
+requests, so the run exercises the shared-cache path: most streams are
+repeats that either worker may have transcribed first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.audio.waveform import Waveform
+
+
+def benchmark_clips(n_clips: int = 12, seed: int = 0) -> list[Waveform]:
+    """Synthetic utterances drawn from the LibriSpeech-like corpus."""
+    from repro.asr.registry import get_shared_lexicon
+    from repro.audio.synthesis import SpeechSynthesizer
+    from repro.config import SAMPLE_RATE
+    from repro.text.corpus import librispeech_like_corpus
+
+    if n_clips < 1:
+        raise ValueError("n_clips must be >= 1")
+    rng = np.random.default_rng(seed)
+    sentences = librispeech_like_corpus().sample(n_clips, rng)
+    synthesizer = SpeechSynthesizer(sample_rate=SAMPLE_RATE,
+                                    lexicon=get_shared_lexicon(),
+                                    seed=seed + 7)
+    return [synthesizer.synthesize(sentence) for sentence in sentences]
+
+
+async def _drive(service, tenant: str, workload) -> list:
+    return await asyncio.gather(*[
+        service.asubmit(tenant, clip, request_id=f"s{i}")
+        for i, clip in enumerate(workload)])
+
+
+def run_serve_benchmark(n_streams: int = 100, n_clips: int = 12,
+                        workers: int = 2, seed: int = 0,
+                        timeout_seconds: float = 120.0,
+                        cache_dir: str | None = None,
+                        spec=None, fit: bool = True) -> dict:
+    """Benchmark the service against the sequential path; return a report.
+
+    The service pass runs first (cold worker caches — the pool is
+    forked from a parent that has detected nothing), the sequential
+    baseline second in the parent process.  Every service verdict and
+    score vector must equal its sequential twin bitwise; otherwise the
+    ``service`` section of the report is ``None`` and
+    ``parity_mismatches`` says why.
+    """
+    from repro.build import build, build_pipeline, resolve_spec
+    from repro.serving.service import DetectionService
+
+    if n_streams < 1:
+        raise ValueError("n_streams must be >= 1")
+    spec = resolve_spec(spec)
+    clips = benchmark_clips(n_clips, seed)
+    workload = [clips[i % len(clips)] for i in range(n_streams)]
+
+    pipeline = build_pipeline(detector=build(spec, fit=fit))
+    service = DetectionService(
+        {"default": pipeline}, workers=workers,
+        queue_depth=max(n_streams, 1),
+        request_timeout_seconds=timeout_seconds,
+        max_batch_size=spec.serving.max_batch_size,
+        cache_dir=cache_dir)
+    with service:
+        start = time.perf_counter()
+        results = asyncio.run(_drive(service, "default", workload))
+        service_wall = time.perf_counter() - start
+    stats = service.stats.snapshot()
+
+    failed = [r for r in results if not r.ok]
+
+    start = time.perf_counter()
+    baseline = [pipeline.detect(clip) for clip in workload]
+    sequential_wall = time.perf_counter() - start
+
+    mismatches = len(failed)
+    for served, expected in zip(results, baseline):
+        if not served.ok:
+            continue
+        if served.is_adversarial != bool(expected.is_adversarial):
+            mismatches += 1
+        elif served.scores != tuple(float(s) for s in expected.scores):
+            mismatches += 1
+
+    report = {
+        "n_streams": n_streams,
+        "n_clips": n_clips,
+        "workers": workers,
+        "seed": seed,
+        "parity_mismatches": mismatches,
+        "failed_requests": len(failed),
+        "sequential": {
+            "wall_seconds": sequential_wall,
+            "per_request_ms": 1000.0 * sequential_wall / n_streams,
+            "throughput_rps": n_streams / sequential_wall,
+        },
+        "stats": {
+            "submitted": stats.submitted,
+            "completed": stats.completed,
+            "rejected": stats.rejected,
+            "timeouts": stats.timeouts,
+            "errors": stats.errors,
+            "retries": stats.retries,
+            "respawns": stats.respawns,
+        },
+        "service": None,
+    }
+    if mismatches == 0:
+        latencies_ms = np.array([r.total_seconds for r in results]) * 1000.0
+        queue_ms = np.array([r.queue_seconds for r in results]) * 1000.0
+        report["service"] = {
+            "wall_seconds": service_wall,
+            "throughput_rps": n_streams / service_wall,
+            "p50_ms": float(np.percentile(latencies_ms, 50)),
+            "p99_ms": float(np.percentile(latencies_ms, 99)),
+            "mean_ms": float(np.mean(latencies_ms)),
+            "max_ms": float(np.max(latencies_ms)),
+            "queue_p50_ms": float(np.percentile(queue_ms, 50)),
+            "queue_p99_ms": float(np.percentile(queue_ms, 99)),
+        }
+    return report

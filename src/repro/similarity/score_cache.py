@@ -13,9 +13,12 @@ The cache key is the scorer's configuration tag (name, metric, phonetic
 flag — see :attr:`~repro.similarity.scorer.SimilarityScorer.cache_tag`)
 plus a content hash of each text, so two calls scoring identical strings
 share one entry regardless of where the strings came from.  Storage is a
-thread-safe in-memory LRU, optionally backed by a JSON file on disk,
-mirroring :class:`~repro.pipeline.cache.TranscriptionCache`'s API and
-statistics.
+thread-safe in-memory LRU, optionally backed by a disk store, mirroring
+:class:`~repro.pipeline.cache.TranscriptionCache`'s API and statistics —
+including the two disk formats: a ``.json`` snapshot written atomically
+on :meth:`save`, or a ``.jsonl`` append-only journal (write-through
+puts, :meth:`refresh` merges other processes' entries) shared across
+the serving layer's worker processes.
 """
 
 from __future__ import annotations
@@ -59,8 +62,10 @@ class PairScoreCache:
     Args:
         capacity: maximum number of entries kept in memory; the least
             recently used entry is evicted first.
-        path: optional JSON file backing the cache on disk.  Existing
-            entries are loaded eagerly; call :meth:`save` to persist.
+        path: optional on-disk store — a ``.json`` snapshot file
+            (written by an explicit :meth:`save`) or a ``.jsonl``
+            append-only journal shared across processes (write-through
+            puts).  Existing entries are loaded eagerly.
     """
 
     def __init__(self, capacity: int = 65536, path: str | None = None):
@@ -71,7 +76,12 @@ class PairScoreCache:
         self.stats = ScoreCacheStats()
         self._entries: OrderedDict[str, float] = OrderedDict()
         self._lock = threading.Lock()
-        if path is not None and os.path.exists(path):
+        self._journal = None
+        if path is not None and _is_journal_path(path):
+            from repro.store import Journal
+            self._journal = Journal(path)
+            self.refresh()
+        elif path is not None and os.path.exists(path):
             self.load(path)
 
     @staticmethod
@@ -105,13 +115,44 @@ class PairScoreCache:
             return value
 
     def put(self, key: str, score: float) -> None:
-        """Store ``score`` under ``key``, evicting the LRU entry if full."""
+        """Store ``score`` under ``key``, evicting the LRU entry if full.
+
+        In journal mode the entry is also appended to the on-disk
+        journal immediately (write-through).
+        """
         with self._lock:
             self._entries[key] = float(score)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+        if self._journal is not None:
+            self._journal.append({"k": key, "v": float(score)})
+
+    def refresh(self) -> int:
+        """Merge journal entries other processes appended; returns count.
+
+        Only meaningful in journal mode (``.jsonl`` path); a no-op that
+        returns 0 otherwise.  Merged entries do not touch the hit/miss
+        statistics.
+        """
+        if self._journal is None:
+            return 0
+        records = self._journal.replay()
+        merged = 0
+        with self._lock:
+            for record in records:
+                try:
+                    value = float(record["v"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self._entries[record["k"]] = value
+                self._entries.move_to_end(record["k"])
+                merged += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return merged
 
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
@@ -121,17 +162,28 @@ class PairScoreCache:
 
     # ------------------------------------------------------------ disk store
     def save(self, path: str | None = None) -> str:
-        """Write the cache to ``path`` (default: the constructor path)."""
+        """Write the cache to ``path`` (default: the constructor path).
+
+        Snapshot paths are written atomically (temp file +
+        ``os.replace``); saving to the cache's own journal path
+        compacts the journal (single-writer, see
+        :meth:`repro.store.Journal.rewrite`).
+        """
+        from repro.store import Journal, atomic_write_text
+
         path = path or self.path
         if path is None:
             raise ValueError("no path given and cache has no backing file")
         with self._lock:
             payload = dict(self._entries)
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        if _is_journal_path(path):
+            journal = (self._journal
+                       if self._journal is not None and path == self.path
+                       else Journal(path))
+            journal.rewrite({"k": key, "v": value}
+                            for key, value in payload.items())
+        else:
+            atomic_write_text(path, json.dumps(payload))
         return path
 
     def load(self, path: str | None = None) -> int:
@@ -139,8 +191,14 @@ class PairScoreCache:
         path = path or self.path
         if path is None:
             raise ValueError("no path given and cache has no backing file")
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
+        if _is_journal_path(path):
+            from repro.store import Journal
+            payload = {record["k"]: record["v"]
+                       for record in Journal(path).replay()
+                       if "k" in record and "v" in record}
+        else:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
         with self._lock:
             for key, value in payload.items():
                 self._entries[key] = float(value)
@@ -149,3 +207,8 @@ class PairScoreCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
         return len(payload)
+
+
+def _is_journal_path(path: str) -> bool:
+    """Whether a cache path selects the append-only journal format."""
+    return os.fspath(path).endswith(".jsonl")

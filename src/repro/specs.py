@@ -445,10 +445,16 @@ class PipelineSpec:
 # ------------------------------------------------------------------- serving
 @dataclass(frozen=True)
 class ServingSpec:
-    """The serving layer: stream windowing and micro-batching.
+    """The serving layer: stream windowing, micro-batching, workers.
 
     The stream fields mirror :class:`repro.serving.chunker.StreamConfig`;
-    the batch fields mirror :class:`repro.serving.batcher.MicroBatcher`.
+    the batch fields mirror :class:`repro.serving.batcher.MicroBatcher`;
+    the pool fields configure
+    :class:`repro.serving.service.DetectionService` — ``workers``
+    worker processes (``0`` = run requests inline in the caller),
+    admission control rejecting new requests once ``queue_depth``
+    requests are pending, and a per-request deadline of
+    ``request_timeout_seconds`` (``None`` disables the deadline).
     """
 
     window_seconds: float = 2.0
@@ -458,6 +464,9 @@ class ServingSpec:
     release_windows: int = 2
     max_batch_size: int = 8
     max_latency_seconds: float = 0.01
+    workers: int = 2
+    queue_depth: int = 64
+    request_timeout_seconds: float | None = 30.0
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -474,7 +483,10 @@ class ServingSpec:
                 ("trigger_windows", int, False),
                 ("release_windows", int, False),
                 ("max_batch_size", int, False),
-                ("max_latency_seconds", float, False)):
+                ("max_latency_seconds", float, False),
+                ("workers", int, False),
+                ("queue_depth", int, False),
+                ("request_timeout_seconds", float, True)):
             if name in data:
                 kwargs[name] = _coerce(data[name], kind, f"{path}.{name}",
                                        none_ok=none_ok)
@@ -501,6 +513,15 @@ class ServingSpec:
         if self.max_latency_seconds < 0:
             out.append(f"{path}.max_latency_seconds: must be >= 0, "
                        f"got {self.max_latency_seconds}")
+        if self.workers < 0:
+            out.append(f"{path}.workers: must be >= 0, got {self.workers}")
+        if self.queue_depth < 1:
+            out.append(f"{path}.queue_depth: must be >= 1, "
+                       f"got {self.queue_depth}")
+        if (self.request_timeout_seconds is not None
+                and self.request_timeout_seconds <= 0):
+            out.append(f"{path}.request_timeout_seconds: must be > 0 or "
+                       f"null, got {self.request_timeout_seconds}")
         return out
 
 
@@ -567,6 +588,9 @@ ENV_OVERLAYS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "REPRO_SCORER": ("scoring.scorer", str),
     "REPRO_SCORING_BACKEND": ("scoring.backend", str),
     "REPRO_CLASSIFIER": ("classifier.name", str),
+    "REPRO_SERVE_WORKERS": ("serving.workers", int),
+    "REPRO_SERVE_QUEUE": ("serving.queue_depth", int),
+    "REPRO_SERVE_TIMEOUT": ("serving.request_timeout_seconds", float),
 }
 
 

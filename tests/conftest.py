@@ -73,3 +73,65 @@ def tiny_bundle():
     from repro.datasets.builder import load_standard_bundle
 
     return load_standard_bundle(TINY)
+
+
+# --------------------------------------------------- pytest-timeout fallback
+# The serving/concurrency tests must fail, not wedge the whole run, when
+# a queue deadlocks or a worker hangs.  pyproject pins a 120 s per-test
+# deadline for pytest-timeout; when that plugin is not installed (this
+# project cannot assume it), the hooks below provide a SIGALRM-based
+# fallback honouring the same `@pytest.mark.timeout(N)` marker and
+# `timeout` ini option.
+
+def _timeout_plugin_active(config) -> bool:
+    return config.pluginmanager.hasplugin("timeout")
+
+
+def pytest_addoption(parser):
+    try:
+        parser.addini("timeout", "per-test deadline in seconds "
+                                 "(fallback for pytest-timeout)")
+    except ValueError:
+        pass  # pytest-timeout already registered the option
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test deadline (enforced by "
+                   "pytest-timeout, or by the conftest SIGALRM fallback)")
+
+
+def _deadline_seconds(item) -> float | None:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    value = item.config.getini("timeout")
+    try:
+        return float(value) if value else None
+    except (TypeError, ValueError):
+        return None
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    import signal
+    import threading
+
+    seconds = (None if _timeout_plugin_active(item.config)
+               else _deadline_seconds(item))
+    if (seconds is None or seconds <= 0
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def expired(signum, frame):
+        pytest.fail(f"test exceeded the {seconds:g} s deadline "
+                    f"(conftest SIGALRM fallback)", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -49,7 +49,8 @@ def run_file_snippets(path: str) -> int:
 
 
 @pytest.mark.parametrize("relative", ["docs/API.md", "docs/CONFIG.md",
-                                      "docs/FEATURES.md", "README.md"])
+                                      "docs/FEATURES.md", "docs/SERVING.md",
+                                      "README.md"])
 def test_documented_snippets_run(relative):
     assert run_file_snippets(os.path.join(REPO_ROOT, relative)) >= 2
 
