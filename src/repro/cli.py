@@ -280,6 +280,55 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print the JSON report instead of the "
                                   "human-readable summary")
 
+    def add_experiment_options(sub: argparse.ArgumentParser) -> None:
+        from repro.specs import SCALE_NAMES
+
+        sub.add_argument("--scale", default=None, choices=SCALE_NAMES,
+                         help="dataset scale preset (default: tiny; "
+                              "REPRO_SCALE overlays)")
+        sub.add_argument("--seed", type=int, default=None,
+                         help="dataset seed (default: the library default)")
+        sub.add_argument("--workers", type=int, default=None,
+                         help="shard worker processes (default: 0 = run "
+                              "shards inline in this process)")
+        sub.add_argument("--run-dir", default=None, metavar="DIR",
+                         help="run directory for spec/journal/report "
+                              "(default: an auto-named directory under "
+                              ".repro_runs, stable per spec — rerunning "
+                              "resumes it)")
+        sub.add_argument("--param", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="experiment parameter override (repeatable); "
+                              "values parse as JSON when possible, e.g. "
+                              "--param n_splits=3")
+        sub.add_argument("--classifier", default=None, metavar="NAME",
+                         help="classifier registry name (default: SVM)")
+        sub.add_argument("--scorer", default=None, metavar="METHOD",
+                         help="similarity method for detector-building "
+                              "experiments (default: PE_JaroWinkler)")
+        sub.add_argument("--max-shards", type=int, default=None,
+                         metavar="N",
+                         help="execute at most N fresh shards then stop "
+                              "(exit 3 while incomplete; rerun to resume)")
+        sub.add_argument("--json", action="store_true",
+                         help="print the final report as JSON instead of "
+                              "markdown")
+
+    run = commands.add_parser(
+        "run", help="run one experiment sharded + resumable "
+                    "(no name: list experiments)")
+    run.add_argument("experiment", nargs="?", default=None,
+                     help="experiment registry name (omit to list them)")
+    add_experiment_options(run)
+
+    sweep = commands.add_parser(
+        "sweep", help="expand a grid of spec overlays and run every point "
+                      "into one merged report")
+    sweep.add_argument("grid", help="sweep JSON file: an experiment spec "
+                                    "plus a \"grid\" of dotted-path value "
+                                    "lists (see docs/EXPERIMENTS.md)")
+    add_experiment_options(sweep)
+
     config = commands.add_parser(
         "config", help="show the effective detector spec / validate config files")
     config_actions = config.add_subparsers(dest="config_command",
@@ -292,7 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate JSON config files against the spec schema "
                          "and the component registries")
     validate.add_argument("path", nargs="+",
-                          help="JSON DetectorSpec files to check")
+                          help="JSON config files to check: DetectorSpec, "
+                               "serve manifest, experiment spec, or sweep "
+                               "spec (dispatched on top-level keys)")
     return parser
 
 
@@ -841,21 +892,187 @@ def cmd_bench_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------- run/sweep
+#: Exit status of ``repro run``/``repro sweep`` when the run stopped
+#: before completing (``--max-shards`` budget exhausted): distinct from
+#: success (0) and bad input (2), so CI can kill-and-resume deterministically.
+EXIT_INCOMPLETE = 3
+
+
+def _parse_param_overrides(pairs: list[str]) -> dict:
+    """``--param key=value`` overrides; values parse as JSON when possible."""
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise CliError(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw  # bare strings need no quoting
+    return params
+
+
+def _apply_experiment_flags(spec, args):
+    """Overlay explicit ``repro run``/``sweep`` flags onto a spec (flags win)."""
+    overlays = [("scale", args.scale), ("seed", args.seed),
+                ("workers", args.workers),
+                ("detector.classifier.name", args.classifier),
+                ("detector.scoring.scorer", args.scorer)]
+    for dotted, value in overlays:
+        if value is not None:
+            spec = spec.with_value(dotted, value)
+    for key, value in _parse_param_overrides(args.param).items():
+        spec = spec.with_value(f"params.{key}", value)
+    return spec
+
+
+def _spec_digest(payload: dict) -> str:
+    """Short stable digest of a spec payload (sans execution-only knobs)."""
+    import hashlib
+
+    payload = dict(payload)
+    payload.pop("workers", None)  # worker count never changes the result
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:10]
+
+
+def _default_run_dir(kind: str, name: str, payload: dict) -> str:
+    from repro.config import runs_dir
+    import os
+
+    return os.path.join(runs_dir(), f"{kind}-{name}-{_spec_digest(payload)}")
+
+
+def _print_run_result(result, args) -> int:
+    if not result.complete:
+        remaining = result.total_units - result.resumed_units \
+            - result.executed_units
+        print(f"incomplete: {result.executed_units} shard(s) executed, "
+              f"{result.resumed_units} resumed, {remaining} remaining "
+              f"(rerun to resume: {result.run_dir})")
+        return EXIT_INCOMPLETE
+    if args.json:
+        print(json.dumps({"title": result.table.name,
+                          "rows": result.table.rows,
+                          "run_dir": result.run_dir,
+                          "executed_units": result.executed_units,
+                          "resumed_units": result.resumed_units}, indent=2))
+        return 0
+    print(result.table.to_markdown())
+    print(f"({result.executed_units} shard(s) executed, "
+          f"{result.resumed_units} resumed; run directory: {result.run_dir})")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        RunSpecMismatch,
+        RunStore,
+        build_experiment,
+        execute_experiment,
+        experiment_names,
+    )
+    from repro.specs import ExperimentSpec, InvalidSpecError
+
+    if args.experiment is None:
+        names = experiment_names()
+        if args.json:
+            print(json.dumps(names, indent=2))
+        else:
+            print("available experiments:")
+            for name in names:
+                print(f"  {name}")
+        return 0
+    spec = ExperimentSpec(experiment=args.experiment,
+                          scale="tiny").with_env_overlay()
+    spec = _apply_experiment_flags(spec, args)
+    try:
+        spec.validate()
+    except InvalidSpecError as exc:
+        raise CliError(str(exc)) from exc
+    run_dir = args.run_dir or _default_run_dir("run", spec.experiment,
+                                               spec.to_dict())
+    try:
+        result = execute_experiment(build_experiment(spec),
+                                    store=RunStore(run_dir),
+                                    max_shards=args.max_shards)
+    except RunSpecMismatch as exc:
+        raise CliError(str(exc)) from exc
+    return _print_run_result(result, args)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.experiments import RunSpecMismatch
+    from repro.experiments.sweep import run_sweep
+    from repro.specs import InvalidSpecError, SweepSpec
+
+    try:
+        sweep = SweepSpec.from_json(args.grid).with_env_overlay()
+        sweep = replace(sweep, base=_apply_experiment_flags(sweep.base, args))
+        sweep.validate()
+    except InvalidSpecError as exc:
+        raise CliError(str(exc)) from exc
+    except OSError as exc:
+        raise CliError(f"cannot read {args.grid!r}: {exc}") from exc
+    name = sweep.name or sweep.base.experiment
+    run_dir = args.run_dir or _default_run_dir("sweep", name, sweep.to_dict())
+    try:
+        result = run_sweep(sweep, run_dir, workers=args.workers,
+                           max_shards=args.max_shards)
+    except RunSpecMismatch as exc:
+        raise CliError(str(exc)) from exc
+    if not result.complete:
+        print(f"incomplete: {result.completed_points}/{result.total_points} "
+              f"points done, {result.executed_units} shard(s) executed, "
+              f"{result.resumed_units} resumed "
+              f"(rerun to resume: {result.run_dir})")
+        return EXIT_INCOMPLETE
+    if args.json:
+        print(json.dumps(result.report, indent=2))
+        return 0
+    import os
+    with open(os.path.join(result.run_dir, "report.md"),
+              encoding="utf-8") as handle:
+        print(handle.read())
+    print(f"({result.total_points} point(s), {result.executed_units} "
+          f"shard(s) executed, {result.resumed_units} resumed; "
+          f"run directory: {result.run_dir})")
+    return 0
+
+
 # ------------------------------------------------------------------- config
 def _validate_config_file(path: str) -> None:
-    """Schema-check one config file: a DetectorSpec or a serve manifest.
+    """Schema-check one config file by its top-level shape.
 
-    A JSON object with a top-level ``"tenants"`` key is a serve manifest
-    (see ``repro serve``): every tenant spec — inline or referenced by a
-    relative path — is validated, as is the serving overlay.
+    A JSON object with a ``"tenants"`` key is a serve manifest (see
+    ``repro serve``): every tenant spec — inline or referenced by a
+    relative path — is validated, as is the serving overlay.  An object
+    with an ``"experiment"`` key is an :class:`~repro.specs.ExperimentSpec`
+    (plus a ``"grid"`` key: a :class:`~repro.specs.SweepSpec` for
+    ``repro sweep``).  Anything else is a plain DetectorSpec.
     """
     import json
 
     from repro.serving.service import load_manifest
-    from repro.specs import DetectorSpec, InvalidSpecError, ServingSpec
+    from repro.specs import (
+        DetectorSpec,
+        ExperimentSpec,
+        InvalidSpecError,
+        ServingSpec,
+        SweepSpec,
+    )
 
     with open(path, encoding="utf-8") as handle:
         raw = json.load(handle)
+    if isinstance(raw, dict) and "experiment" in raw:
+        if "grid" in raw or "name" in raw:
+            SweepSpec.from_json(path).validate()
+        else:
+            ExperimentSpec.from_json(path).validate()
+        return
     if not (isinstance(raw, dict) and "tenants" in raw):
         DetectorSpec.from_json(path).validate()
         return
@@ -926,6 +1143,7 @@ def main(argv: list[str] | None = None) -> int:
                 "bench-similarity": cmd_bench_similarity,
                 "bench-pipeline": cmd_bench_pipeline,
                 "bench-serve": cmd_bench_serve,
+                "run": cmd_run, "sweep": cmd_sweep,
                 "config": cmd_config}
     try:
         return handlers[args.command](args)

@@ -111,6 +111,15 @@ def cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache"))
 
 
+def runs_dir() -> str:
+    """Directory holding experiment run directories (``repro run``/``sweep``).
+
+    Defaults to ``.repro_runs`` under the current working directory and can
+    be overridden with the ``REPRO_RUNS_DIR`` environment variable.
+    """
+    return os.environ.get("REPRO_RUNS_DIR", os.path.join(os.getcwd(), ".repro_runs"))
+
+
 @dataclass
 class RuntimeConfig:
     """Mutable runtime options shared across the library."""

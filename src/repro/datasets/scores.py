@@ -21,6 +21,7 @@ warm for any experiment that replays the same clips afterwards.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -33,6 +34,7 @@ from repro.datasets.builder import DatasetBundle, load_standard_bundle
 from repro.pipeline.engine import TranscriptionEngine
 from repro.similarity.engine import SimilarityEngine
 from repro.specs import SuiteSpec
+from repro.store import atomic_write_text
 
 #: Target and auxiliary order of the *default* scored dataset (the
 #: paper's suite, snapshotted from the ASR registry at import).  These
@@ -174,8 +176,28 @@ def compute_scored_dataset(bundle: DatasetBundle,
 # -------------------------------------------------------------- disk caching
 
 
-def _cache_path(scale_name: str, seed: int) -> str:
-    return os.path.join(cache_dir(), f"scored_{scale_name}_{seed}.json")
+def _suite_signature(method: str, auxiliary_order: tuple[str, ...]) -> str:
+    """Short digest of what a scored payload actually depends on.
+
+    The cache key used to be ``(scale, seed)`` only, but the stored
+    transcriptions/scores are a function of the similarity *method* and
+    the suite composition too — two datasets computed for different
+    methods or suites silently shared one file.  The digest folds both
+    (plus the target, for completeness) into the filename, so a file
+    written for any other combination is simply a different name — i.e.
+    a miss — rather than a wrong hit.
+    """
+    payload = json.dumps([method, SCORED_TARGET, list(auxiliary_order)],
+                         separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:10]
+
+
+def _cache_path(scale_name: str, seed: int,
+                method: str = "PE_JaroWinkler",
+                auxiliary_order: tuple[str, ...] = AUXILIARY_ORDER) -> str:
+    signature = _suite_signature(method, auxiliary_order)
+    return os.path.join(cache_dir(),
+                        f"scored_{scale_name}_{seed}_{signature}.json")
 
 
 def _to_json(dataset: ScoredDataset) -> dict:
@@ -205,31 +227,68 @@ def _from_json(payload: dict) -> ScoredDataset:
     )
 
 
-_SCORED_CACHE: dict[tuple[str, int], ScoredDataset] = {}
+_SCORED_CACHE: dict[tuple[str, int, str], ScoredDataset] = {}
+
+
+def _read_cached_dataset(path: str, method: str) -> ScoredDataset | None:
+    """Parse one disk-cache file; anything unexpected is a miss.
+
+    A torn or corrupt file (the write is atomic now, but files from
+    older versions may predate that) and a payload whose method or
+    suite differs from what the filename promises are both treated as
+    misses — the dataset is recomputed and the file overwritten.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        dataset = _from_json(payload)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    if dataset.method != method or dataset.auxiliary_order != AUXILIARY_ORDER:
+        return None
+    return dataset
+
+
+def store_scored_dataset(dataset: ScoredDataset,
+                         scale: ReproScale | str | None = None,
+                         seed: int = DEFAULT_SEED) -> str:
+    """Persist a computed dataset into the disk cache (atomic write).
+
+    Returns the cache path.  Used by :func:`load_scored_dataset` and by
+    the sharded ``scored_dataset`` experiment, whose reduce step
+    installs its reassembled result here so every later experiment
+    starts warm.
+    """
+    if scale is None or isinstance(scale, str):
+        scale = get_scale(scale)
+    path = _cache_path(scale.name, seed, dataset.method,
+                       dataset.auxiliary_order)
+    atomic_write_text(path, json.dumps(_to_json(dataset)))
+    _SCORED_CACHE[(scale.name, seed, dataset.method)] = dataset
+    return path
 
 
 def load_scored_dataset(scale: ReproScale | str | None = None,
                         seed: int = DEFAULT_SEED,
-                        use_disk_cache: bool = True) -> ScoredDataset:
+                        use_disk_cache: bool = True,
+                        method: str = "PE_JaroWinkler") -> ScoredDataset:
     """Load (from cache) or compute the scored dataset for a scale preset."""
     if scale is None or isinstance(scale, str):
         scale = get_scale(scale)
-    key = (scale.name, seed)
+    key = (scale.name, seed, method)
     if key in _SCORED_CACHE:
         return _SCORED_CACHE[key]
 
-    path = _cache_path(scale.name, seed)
-    if use_disk_cache and os.path.exists(path):
-        with open(path, encoding="utf-8") as handle:
-            dataset = _from_json(json.load(handle))
-        _SCORED_CACHE[key] = dataset
-        return dataset
+    path = _cache_path(scale.name, seed, method)
+    if use_disk_cache:
+        dataset = _read_cached_dataset(path, method)
+        if dataset is not None:
+            _SCORED_CACHE[key] = dataset
+            return dataset
 
     bundle = load_standard_bundle(scale, seed)
-    dataset = compute_scored_dataset(bundle)
+    dataset = compute_scored_dataset(bundle, method=method)
     if use_disk_cache:
-        os.makedirs(cache_dir(), exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(_to_json(dataset), handle)
+        store_scored_dataset(dataset, scale, seed)
     _SCORED_CACHE[key] = dataset
     return dataset

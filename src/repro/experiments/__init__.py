@@ -1,12 +1,35 @@
 """Experiment harness: one module per table / figure of the paper.
 
-Every experiment function takes a :class:`~repro.datasets.scores.ScoredDataset`
-(so the expensive audio work is shared and cached) and returns a plain
-result object with a ``to_table()`` method producing the rows the paper
-reports.  The benchmark suite under ``benchmarks/`` calls these functions.
+Two complementary surfaces:
+
+* The classic ``run_*`` functions — each takes its inputs (usually a
+  :class:`~repro.datasets.scores.ScoredDataset`) and returns the table
+  the paper reports.  They are thin, bit-identical wrappers over the
+  unified runner's shard helpers.
+* The :class:`~repro.experiments.runner.Experiment` registry — every
+  module registers its experiments by name
+  (:func:`~repro.experiments.registry.experiment_names`), which is what
+  ``repro run`` / ``repro sweep`` execute sharded and resumable (see
+  docs/EXPERIMENTS.md).
+
+Importing this package loads every experiment module, which populates
+the registry as a side effect.
 """
 
-from repro.experiments.runner import ExperimentTable, format_table
+from repro.experiments.registry import (
+    build_experiment,
+    experiment_defaults,
+    experiment_names,
+)
+from repro.experiments.runner import (
+    Experiment,
+    ExperimentTable,
+    RunResult,
+    WorkUnit,
+    execute_experiment,
+    format_table,
+)
+from repro.experiments.store import RunSpecMismatch, RunStore
 from repro.experiments.feasibility import (
     run_table1_example,
     run_table2_dataset_summary,
@@ -36,10 +59,23 @@ from repro.experiments.ablations import (
     run_kaldi_auxiliary_ablation,
     run_baseline_comparison,
 )
+from repro.experiments import scored_dataset as _scored_dataset  # noqa: F401
+from repro.experiments.sweep import SweepResult, run_sweep
 
 __all__ = [
+    "Experiment",
     "ExperimentTable",
+    "RunResult",
+    "RunSpecMismatch",
+    "RunStore",
+    "SweepResult",
+    "WorkUnit",
+    "build_experiment",
+    "execute_experiment",
+    "experiment_defaults",
+    "experiment_names",
     "format_table",
+    "run_sweep",
     "run_table1_example",
     "run_table2_dataset_summary",
     "run_figure4_histograms",

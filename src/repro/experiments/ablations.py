@@ -18,10 +18,38 @@ from repro.baselines.temporal_dependency import TemporalDependencyDetector
 from repro.core.features import score_vectors
 from repro.datasets.builder import DatasetBundle
 from repro.datasets.scores import ScoredDataset
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
 from repro.ml.metrics import classification_report
 from repro.ml.model_selection import cross_validate
 from repro.ml.registry import build_classifier
+
+
+def _kaldi_row(bundle: DatasetBundle, max_samples: int, n_splits: int,
+               seed: int, classifier_name: str,
+               workers: int | None = None, scoring=None) -> dict:
+    """The DS0+{KAL} row: score the samples against Kaldi, cross-validate."""
+    target_asr = build_asr("DS0")
+    kaldi = build_asr("KAL")
+    samples = (bundle.benign + bundle.adversarial)[:max_samples]
+    labels = np.array([sample.label for sample in samples])
+    waveforms = [sample.waveform for sample in samples]
+    kaldi_features = score_vectors(waveforms, target_asr, [kaldi],
+                                   workers=workers, scoring=scoring)
+    result = cross_validate(lambda: build_classifier(classifier_name),
+                            kaldi_features, labels, n_splits=n_splits, seed=seed)
+    return {"system": "DS0+{KAL}", "accuracy": result.accuracy_mean,
+            "fpr": result.fpr_mean, "fnr": result.fnr_mean}
+
+
+def _ds1_row(dataset: ScoredDataset, n_splits: int, seed: int,
+             classifier_name: str) -> dict:
+    """The DS0+{DS1} comparison row, from the pre-computed scores."""
+    ds1_features, ds1_labels = dataset.features_for(("DS1",))
+    ds1_result = cross_validate(lambda: build_classifier(classifier_name),
+                                ds1_features, ds1_labels, n_splits=n_splits, seed=seed)
+    return {"system": "DS0+{DS1}", "accuracy": ds1_result.accuracy_mean,
+            "fpr": ds1_result.fpr_mean, "fnr": ds1_result.fnr_mean}
 
 
 def run_kaldi_auxiliary_ablation(bundle: DatasetBundle, dataset: ScoredDataset,
@@ -39,59 +67,111 @@ def run_kaldi_auxiliary_ablation(bundle: DatasetBundle, dataset: ScoredDataset,
     :class:`~repro.similarity.engine.SimilarityEngine` (pass ``scoring=``
     to inject a configured one).
     """
-    target_asr = build_asr("DS0")
-    kaldi = build_asr("KAL")
-    samples = (bundle.benign + bundle.adversarial)[:max_samples]
-    labels = np.array([sample.label for sample in samples])
-    waveforms = [sample.waveform for sample in samples]
-    kaldi_features = score_vectors(waveforms, target_asr, [kaldi],
-                                   workers=workers, scoring=scoring)
-
     table = ExperimentTable(
         "Kaldi ablation", "Detection accuracy with an inaccurate auxiliary ASR")
-    result = cross_validate(lambda: build_classifier(classifier_name),
-                            kaldi_features, labels, n_splits=n_splits, seed=seed)
-    table.add_row(system="DS0+{KAL}", accuracy=result.accuracy_mean,
-                  fpr=result.fpr_mean, fnr=result.fnr_mean)
-
-    ds1_features, ds1_labels = dataset.features_for(("DS1",))
-    ds1_result = cross_validate(lambda: build_classifier(classifier_name),
-                                ds1_features, ds1_labels, n_splits=n_splits, seed=seed)
-    table.add_row(system="DS0+{DS1}", accuracy=ds1_result.accuracy_mean,
-                  fpr=ds1_result.fpr_mean, fnr=ds1_result.fnr_mean)
+    table.rows.append(_kaldi_row(bundle, max_samples, n_splits, seed,
+                                 classifier_name, workers, scoring))
+    table.rows.append(_ds1_row(dataset, n_splits, seed, classifier_name))
     return table
 
 
-def run_baseline_comparison(bundle: DatasetBundle, max_samples: int = 48,
-                            seed: int = 47) -> ExperimentTable:
-    """Run the three related-work baselines on the same benign/AE samples."""
+def _baseline_samples(bundle: DatasetBundle, max_samples: int, seed: int):
+    """The deterministic shuffled sample subset every baseline shares."""
     rng = np.random.default_rng(seed)
     samples = list(bundle.benign) + list(bundle.adversarial)
     rng.shuffle(samples)
     samples = samples[:max_samples]
     labels = np.array([sample.label for sample in samples])
     waveforms = [sample.waveform for sample in samples]
-    ds0 = build_asr("DS0")
+    return waveforms, labels
 
+
+def _baseline_row(method: str, waveforms, labels) -> dict:
+    """One related-work baseline evaluated on the shared subset."""
+    if method == "temporal":
+        temporal = TemporalDependencyDetector(build_asr("DS0"))
+        preds = np.array([int(temporal.is_adversarial(w)) for w in waveforms])
+        report = classification_report(labels, preds)
+        label = "Temporal dependency (Yang et al.)"
+    elif method == "preprocessing":
+        preprocessing = PreprocessingDetector(build_asr("DS0"))
+        preds = np.array([int(preprocessing.is_adversarial(w)) for w in waveforms])
+        report = classification_report(labels, preds)
+        label = "Pre-processing (Rajaratnam et al.)"
+    elif method == "hvc":
+        hvc = HiddenVoiceCommandDetector()
+        half = len(waveforms) // 2
+        hvc.fit(waveforms[:half], labels[:half])
+        report = classification_report(labels[half:], hvc.predict(waveforms[half:]))
+        label = "HVC logistic regression (Carlini et al.)"
+    else:
+        raise ValueError(f"unknown baseline {method!r}")
+    return {"method": label, "accuracy": report.accuracy,
+            "fpr": report.fpr, "fnr": report.fnr}
+
+
+_BASELINE_METHODS = ("temporal", "preprocessing", "hvc")
+
+
+def run_baseline_comparison(bundle: DatasetBundle, max_samples: int = 48,
+                            seed: int = 47) -> ExperimentTable:
+    """Run the three related-work baselines on the same benign/AE samples."""
+    waveforms, labels = _baseline_samples(bundle, max_samples, seed)
     table = ExperimentTable("Baselines", "Related-work detectors on the same dataset")
-
-    temporal = TemporalDependencyDetector(ds0)
-    temporal_preds = np.array([int(temporal.is_adversarial(w)) for w in waveforms])
-    report = classification_report(labels, temporal_preds)
-    table.add_row(method="Temporal dependency (Yang et al.)",
-                  accuracy=report.accuracy, fpr=report.fpr, fnr=report.fnr)
-
-    preprocessing = PreprocessingDetector(ds0)
-    preprocessing_preds = np.array([int(preprocessing.is_adversarial(w)) for w in waveforms])
-    report = classification_report(labels, preprocessing_preds)
-    table.add_row(method="Pre-processing (Rajaratnam et al.)",
-                  accuracy=report.accuracy, fpr=report.fpr, fnr=report.fnr)
-
-    hvc = HiddenVoiceCommandDetector()
-    half = len(waveforms) // 2
-    hvc.fit(waveforms[:half], labels[:half])
-    hvc_preds = hvc.predict(waveforms[half:])
-    report = classification_report(labels[half:], hvc_preds)
-    table.add_row(method="HVC logistic regression (Carlini et al.)",
-                  accuracy=report.accuracy, fpr=report.fpr, fnr=report.fnr)
+    for method in _BASELINE_METHODS:
+        table.rows.append(_baseline_row(method, waveforms, labels))
     return table
+
+
+@register
+class KaldiAblationExperiment(Experiment):
+    """Kaldi-auxiliary ablation sharded per system row — 2 units."""
+
+    name = "kaldi_ablation"
+    title = "Kaldi ablation"
+    description = "Detection accuracy with an inaccurate auxiliary ASR"
+    defaults = {"max_samples": 64, "n_splits": 5, "cv_seed": 43}
+
+    def prepare(self) -> None:
+        self.bundle()
+        self.dataset()
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="KAL"), WorkUnit(key="DS1")]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        if unit.key == "KAL":
+            return [_kaldi_row(self.bundle(), int(self.param("max_samples")),
+                               int(self.param("n_splits")),
+                               int(self.param("cv_seed")),
+                               self.classifier_name)]
+        return [_ds1_row(self.dataset(), int(self.param("n_splits")),
+                         int(self.param("cv_seed")), self.classifier_name)]
+
+
+@register
+class BaselineComparisonExperiment(Experiment):
+    """Baseline comparison sharded per related-work method — 3 units.
+
+    Each unit re-derives the shared shuffled subset (a cheap,
+    deterministic ``default_rng(seed)`` shuffle), so the per-method rows
+    match the wrapper's exactly.
+    """
+
+    name = "baseline_comparison"
+    title = "Baselines"
+    description = "Related-work detectors on the same dataset"
+    defaults = {"max_samples": 48, "shuffle_seed": 47}
+
+    def prepare(self) -> None:
+        self.bundle()
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key=method, params={"method": method})
+                for method in _BASELINE_METHODS]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        waveforms, labels = _baseline_samples(
+            self.bundle(), int(self.param("max_samples")),
+            int(self.param("shuffle_seed")))
+        return [_baseline_row(str(unit.params["method"]), waveforms, labels)]

@@ -19,7 +19,8 @@ from repro.asr.registry import build_asr, get_shared_lexicon
 from repro.attacks.whitebox import WhiteBoxCarliniAttack
 from repro.audio.synthesis import SpeechSynthesizer
 from repro.datasets.scores import AUXILIARY_ORDER, ScoredDataset
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
 
 
 def run_table1_example(host_text: str = "i wish you would not say that",
@@ -68,25 +69,95 @@ class HistogramResult:
     adversarial_scores: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
 
+def _figure4_histogram(dataset: ScoredDataset, name: str,
+                       n_bins: int) -> HistogramResult:
+    """One auxiliary's benign/adversarial score histogram."""
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    benign, _ = dataset.features_for((name,), ("benign",))
+    adversarial, _ = dataset.features_for((name,), ("whitebox-ae", "blackbox-ae"))
+    benign_scores = benign.ravel()
+    adversarial_scores = adversarial.ravel()
+    benign_counts, _ = np.histogram(benign_scores, bins=edges)
+    adversarial_counts, _ = np.histogram(adversarial_scores, bins=edges)
+    # Overlap: how much probability mass the two (normalised) histograms
+    # share.  Small overlap = the clusters are (almost) disjoint.
+    benign_density = benign_counts / max(1, benign_counts.sum())
+    adversarial_density = adversarial_counts / max(1, adversarial_counts.sum())
+    overlap = float(np.minimum(benign_density, adversarial_density).sum())
+    return HistogramResult(
+        system=f"DS0+{{{name}}}", bin_edges=edges,
+        benign_counts=benign_counts, adversarial_counts=adversarial_counts,
+        overlap_fraction=overlap,
+        benign_scores=benign_scores, adversarial_scores=adversarial_scores)
+
+
 def run_figure4_histograms(dataset: ScoredDataset, n_bins: int = 20) -> list[HistogramResult]:
     """Reproduce Figure 4: per-auxiliary score histograms."""
-    results = []
-    edges = np.linspace(0.0, 1.0, n_bins + 1)
-    for name in AUXILIARY_ORDER:
-        benign, _ = dataset.features_for((name,), ("benign",))
-        adversarial, _ = dataset.features_for((name,), ("whitebox-ae", "blackbox-ae"))
-        benign_scores = benign.ravel()
-        adversarial_scores = adversarial.ravel()
-        benign_counts, _ = np.histogram(benign_scores, bins=edges)
-        adversarial_counts, _ = np.histogram(adversarial_scores, bins=edges)
-        # Overlap: how much probability mass the two (normalised) histograms
-        # share.  Small overlap = the clusters are (almost) disjoint.
-        benign_density = benign_counts / max(1, benign_counts.sum())
-        adversarial_density = adversarial_counts / max(1, adversarial_counts.sum())
-        overlap = float(np.minimum(benign_density, adversarial_density).sum())
-        results.append(HistogramResult(
-            system=f"DS0+{{{name}}}", bin_edges=edges,
-            benign_counts=benign_counts, adversarial_counts=adversarial_counts,
-            overlap_fraction=overlap,
-            benign_scores=benign_scores, adversarial_scores=adversarial_scores))
-    return results
+    return [_figure4_histogram(dataset, name, n_bins)
+            for name in AUXILIARY_ORDER]
+
+
+@register
+class Table1Experiment(Experiment):
+    """Table I: one AE, four transcriptions (single attack — one unit)."""
+
+    name = "table1_example"
+    title = "Table I"
+    description = "Recognition results of an AE by multiple ASRs"
+    defaults = {
+        "host_text": "i wish you would not say that",
+        "command": "a sight for sore eyes",
+        "attack_seed": 11,
+    }
+
+    def prepare(self) -> None:
+        pass  # no dataset needed: the unit synthesises its own host clip
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="example")]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return run_table1_example(str(self.param("host_text")),
+                                  str(self.param("command")),
+                                  int(self.param("attack_seed"))).rows
+
+
+@register
+class Table2Experiment(Experiment):
+    """Table II: dataset sizes (pure counting — one unit)."""
+
+    name = "table2_dataset_summary"
+    title = "Table II"
+    description = "Datasets used in the evaluation"
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="summary")]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return run_table2_dataset_summary(self.dataset()).rows
+
+
+@register
+class Figure4Experiment(Experiment):
+    """Figure 4 sharded per auxiliary; rows summarise each histogram."""
+
+    name = "figure4_histograms"
+    title = "Figure 4"
+    description = "Similarity-score histogram overlap per single-auxiliary system"
+    defaults = {"n_bins": 20}
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key=name, params={"auxiliary": name})
+                for name in AUXILIARY_ORDER]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        result = _figure4_histogram(self.dataset(),
+                                    str(unit.params["auxiliary"]),
+                                    int(self.param("n_bins")))
+        return [{
+            "system": result.system,
+            "overlap_fraction": result.overlap_fraction,
+            "n_benign": int(result.benign_scores.size),
+            "n_adversarial": int(result.adversarial_scores.size),
+            "n_bins": int(result.bin_edges.size - 1),
+        }]

@@ -10,8 +10,13 @@ auxiliaries are added.
 from __future__ import annotations
 
 from repro.datasets.scores import ScoredDataset
-from repro.experiments.runner import ExperimentTable
-from repro.experiments.single_aux import SINGLE_AUX_SYSTEMS
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
+from repro.experiments.single_aux import (
+    SINGLE_AUX_SYSTEMS,
+    SingleAuxExperiment,
+    crossval_row,
+)
 from repro.ml.model_selection import cross_validate
 from repro.ml.registry import CLASSIFIER_NAMES, build_classifier
 
@@ -31,20 +36,24 @@ def run_table5_multi_auxiliary(dataset: ScoredDataset, n_splits: int = 5,
         "Table V", "Testing results of multi-auxiliary-model systems (mean/std)")
     for classifier_name in CLASSIFIER_NAMES:
         for auxiliaries in MULTI_AUX_SYSTEMS:
-            features, labels = dataset.features_for(auxiliaries)
-            result = cross_validate(lambda: build_classifier(classifier_name),
-                                    features, labels, n_splits=n_splits, seed=seed)
-            table.add_row(
-                classifier=classifier_name,
-                system="DS0+{" + ", ".join(auxiliaries) + "}",
-                accuracy_mean=result.accuracy_mean,
-                accuracy_std=result.accuracy_std,
-                fpr_mean=result.fpr_mean,
-                fpr_std=result.fpr_std,
-                fnr_mean=result.fnr_mean,
-                fnr_std=result.fnr_std,
-            )
+            table.rows.append(crossval_row(dataset, classifier_name,
+                                           auxiliaries, n_splits, seed))
     return table
+
+
+def _table6_row(dataset: ScoredDataset, auxiliaries: tuple[str, ...],
+                n_splits: int, seed: int, classifier_name: str) -> dict:
+    """One Table VI row: one system's cross-validated FPR/FNR."""
+    features, labels = dataset.features_for(auxiliaries)
+    result = cross_validate(lambda: build_classifier(classifier_name),
+                            features, labels, n_splits=n_splits, seed=seed)
+    return {
+        "n_auxiliaries": len(auxiliaries),
+        "system": "DS0+{" + ", ".join(auxiliaries) + "}",
+        "fpr": result.fpr_mean,
+        "fnr": result.fnr_mean,
+        "accuracy": result.accuracy_mean,
+    }
 
 
 def run_table6_asr_count_impact(dataset: ScoredDataset, n_splits: int = 5,
@@ -54,14 +63,39 @@ def run_table6_asr_count_impact(dataset: ScoredDataset, n_splits: int = 5,
     table = ExperimentTable(
         "Table VI", "Impact of the number of auxiliary ASRs on FPR and FNR")
     for auxiliaries in SINGLE_AUX_SYSTEMS + MULTI_AUX_SYSTEMS:
-        features, labels = dataset.features_for(auxiliaries)
-        result = cross_validate(lambda: build_classifier(classifier_name),
-                                features, labels, n_splits=n_splits, seed=seed)
-        table.add_row(
-            n_auxiliaries=len(auxiliaries),
-            system="DS0+{" + ", ".join(auxiliaries) + "}",
-            fpr=result.fpr_mean,
-            fnr=result.fnr_mean,
-            accuracy=result.accuracy_mean,
-        )
+        table.rows.append(_table6_row(dataset, auxiliaries, n_splits, seed,
+                                      classifier_name))
     return table
+
+
+@register
+class MultiAuxExperiment(SingleAuxExperiment):
+    """Table V sharded per (classifier, system) cell — 12 units."""
+
+    name = "multi_aux"
+    title = "Table V"
+    description = "Testing results of multi-auxiliary-model systems (mean/std)"
+
+    systems = MULTI_AUX_SYSTEMS
+
+
+@register
+class AsrCountExperiment(Experiment):
+    """Table VI sharded per system — 7 units."""
+
+    name = "asr_count"
+    title = "Table VI"
+    description = "Impact of the number of auxiliary ASRs on FPR and FNR"
+    defaults = {"n_splits": 5, "cv_seed": 13}
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="+".join(auxiliaries),
+                         params={"auxiliaries": list(auxiliaries)})
+                for auxiliaries in SINGLE_AUX_SYSTEMS + MULTI_AUX_SYSTEMS]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return [_table6_row(self.dataset(),
+                            tuple(unit.params["auxiliaries"]),
+                            int(self.param("n_splits")),
+                            int(self.param("cv_seed")),
+                            self.classifier_name)]

@@ -10,8 +10,26 @@ from __future__ import annotations
 
 from repro.core.threshold import ThresholdDetector
 from repro.datasets.scores import ScoredDataset
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
 from repro.experiments.single_aux import SINGLE_AUX_SYSTEMS
+
+
+def _nontargeted_rows(dataset: ScoredDataset, auxiliaries: tuple[str, ...],
+                      max_fpr: float) -> list[dict]:
+    """One system's row — empty when it has no non-targeted samples."""
+    benign = dataset.benign_features(auxiliaries)
+    nontargeted, _ = dataset.features_for(auxiliaries, ("nontargeted-ae",))
+    if nontargeted.shape[0] == 0:
+        return []
+    detector = ThresholdDetector().fit_benign(benign, max_fpr=max_fpr)
+    return [{
+        "system": "DS0+{" + ", ".join(auxiliaries) + "}",
+        "threshold": float(detector.threshold),
+        "fpr": detector.false_positive_rate(benign),
+        "defense_rate": detector.defense_rate(nontargeted),
+        "n_nontargeted": int(nontargeted.shape[0]),
+    }]
 
 
 def run_nontargeted_detection(dataset: ScoredDataset,
@@ -20,16 +38,25 @@ def run_nontargeted_detection(dataset: ScoredDataset,
     table = ExperimentTable(
         "Non-targeted", "Detection of non-targeted (noise) AEs, Section V-J")
     for auxiliaries in SINGLE_AUX_SYSTEMS:
-        benign = dataset.benign_features(auxiliaries)
-        nontargeted, _ = dataset.features_for(auxiliaries, ("nontargeted-ae",))
-        if nontargeted.shape[0] == 0:
-            continue
-        detector = ThresholdDetector().fit_benign(benign, max_fpr=max_fpr)
-        table.add_row(
-            system="DS0+{" + ", ".join(auxiliaries) + "}",
-            threshold=float(detector.threshold),
-            fpr=detector.false_positive_rate(benign),
-            defense_rate=detector.defense_rate(nontargeted),
-            n_nontargeted=int(nontargeted.shape[0]),
-        )
+        table.rows.extend(_nontargeted_rows(dataset, auxiliaries, max_fpr))
     return table
+
+
+@register
+class NontargetedExperiment(Experiment):
+    """Section V-J sharded per single-auxiliary system — 3 units."""
+
+    name = "nontargeted"
+    title = "Non-targeted"
+    description = "Detection of non-targeted (noise) AEs, Section V-J"
+    defaults = {"max_fpr": 0.05}
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="+".join(auxiliaries),
+                         params={"auxiliaries": list(auxiliaries)})
+                for auxiliaries in SINGLE_AUX_SYSTEMS]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return _nontargeted_rows(self.dataset(),
+                                 tuple(unit.params["auxiliaries"]),
+                                 float(self.param("max_fpr")))

@@ -22,7 +22,13 @@ import numpy as np
 from repro.build import build
 from repro.datasets.builder import DatasetBundle
 from repro.datasets.scores import ScoredDataset
-from repro.experiments.runner import ExperimentTable, add_timing_rows
+from repro.experiments.registry import register
+from repro.experiments.runner import (
+    Experiment,
+    ExperimentTable,
+    WorkUnit,
+    add_timing_rows,
+)
 from repro.pipeline.detection import DetectionPipeline
 from repro.specs import (
     ASRSpec,
@@ -89,3 +95,32 @@ def run_overhead_measurement(bundle: DatasetBundle, dataset: ScoredDataset,
     table.add_row(component="pipeline total (per clip)",
                   mean_seconds=stage_means["total"])
     return table
+
+
+@register
+class OverheadExperiment(Experiment):
+    """Section V-I timing: single unit (wall-clock must not be contended).
+
+    Sharding a timing measurement across sibling workers would make the
+    pool contention part of the number; the whole measurement is one
+    unit so its internal fan-out is the only parallelism.
+    """
+
+    name = "overhead"
+    title = "Overhead"
+    description = "Detection time overhead on DS0+{DS1}"
+    defaults = {"max_samples": 24}
+
+    def prepare(self) -> None:
+        self.bundle()
+        self.dataset()
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="timing")]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return run_overhead_measurement(
+            self.bundle(), self.dataset(),
+            max_samples=int(self.param("max_samples")),
+            classifier_name=self.classifier_name,
+            scoring_backend=self.spec.detector.scoring.backend).rows

@@ -1,0 +1,60 @@
+"""Registry of runnable experiments, keyed by name.
+
+Experiment classes self-register at import time via :func:`register`;
+:func:`build_experiment` instantiates one from an
+:class:`~repro.specs.ExperimentSpec`.  Loading is lazy — the registry
+imports :mod:`repro.experiments` (which imports every experiment
+module) on first lookup, so ``repro.specs`` can validate experiment
+names without a circular import at module load.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownComponentError
+
+_EXPERIMENTS: dict[str, type] = {}
+_LOADED = False
+
+
+def register(cls):
+    """Class decorator: add an Experiment subclass to the registry."""
+    name = getattr(cls, "name", "")
+    if not name:
+        raise ValueError(f"{cls.__name__} has no experiment name")
+    if name in _EXPERIMENTS and _EXPERIMENTS[name] is not cls:
+        raise ValueError(f"experiment {name!r} is already registered")
+    _EXPERIMENTS[name] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    # Importing the package pulls in every experiment module, each of
+    # which registers its Experiment subclasses on import.
+    import repro.experiments  # noqa: F401
+
+
+def experiment_names() -> list[str]:
+    """Registered experiment names, sorted."""
+    _ensure_loaded()
+    return sorted(_EXPERIMENTS)
+
+
+def experiment_defaults(name: str):
+    """The named experiment's parameter defaults mapping."""
+    _ensure_loaded()
+    if name not in _EXPERIMENTS:
+        raise UnknownComponentError("experiment", name, experiment_names())
+    return dict(_EXPERIMENTS[name].defaults)
+
+
+def build_experiment(spec):
+    """Instantiate the experiment the spec names."""
+    _ensure_loaded()
+    name = spec.experiment
+    if name not in _EXPERIMENTS:
+        raise UnknownComponentError("experiment", name, experiment_names())
+    return _EXPERIMENTS[name](spec)

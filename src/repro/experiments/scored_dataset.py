@@ -1,0 +1,112 @@
+"""Sharded scored-dataset computation.
+
+:func:`repro.datasets.scores.compute_scored_dataset` transcribes every
+sample with the full ASR suite in one process — the single biggest
+restart-from-zero cost in the repo.  This experiment splits the sample
+list into index chunks, transcribes/scores each chunk in a shard
+worker (the content-hash transcription and pair-score caches make
+chunks idempotent), and reassembles the full
+:class:`~repro.datasets.scores.ScoredDataset` in index order at reduce
+time — bit-identical to the single-process path, because every
+per-sample transcription and score is a pure function of the audio.
+
+The reduce step installs the reassembled dataset into the scored-
+dataset disk cache (:func:`~repro.datasets.scores.store_scored_dataset`),
+so every later experiment at the same scale/seed starts warm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.scores import store_scored_dataset
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
+
+
+def _suite_samples(bundle) -> list:
+    """The sample list the scored dataset covers, in dataset order."""
+    return list(bundle.all_samples) + list(bundle.nontargeted)
+
+
+def _chunk_rows(samples: list, start: int, method: str) -> list[dict]:
+    """Transcribe and score one chunk of samples; one row per sample."""
+    from repro.build import build_suite
+    from repro.pipeline.engine import TranscriptionEngine
+    from repro.similarity.engine import SimilarityEngine
+    from repro.specs import SuiteSpec
+
+    target_asr, auxiliaries = build_suite(SuiteSpec())
+    aux_names = [asr.short_name for asr in auxiliaries]
+    scoring = SimilarityEngine(scorer=method)
+    with TranscriptionEngine(target_asr, auxiliaries) as engine:
+        suites = engine.transcribe_batch(
+            [sample.waveform for sample in samples])
+    scores = (scoring.score_suites(suites, auxiliaries)
+              if samples else np.empty((0, len(aux_names))))
+    return [{
+        "index": start + offset,
+        "label": int(sample.label),
+        "kind": sample.kind,
+        "target_text": suites[offset].target.text,
+        "auxiliary_texts": {name: suites[offset].auxiliaries[name].text
+                            for name in aux_names},
+        "scores": [float(value) for value in scores[offset]],
+    } for offset, sample in enumerate(samples)]
+
+
+@register
+class ScoredDatasetExperiment(Experiment):
+    """Compute the scored dataset in index chunks and reassemble it."""
+
+    name = "scored_dataset"
+    title = "Scored dataset"
+    description = "Sharded suite transcription + similarity scoring"
+    defaults = {"chunk_size": 16, "method": "PE_JaroWinkler"}
+
+    def prepare(self) -> None:
+        self.bundle()
+
+    def shards(self, spec) -> list[WorkUnit]:
+        total = len(_suite_samples(self.bundle()))
+        chunk = max(1, int(self.param("chunk_size")))
+        return [WorkUnit(key=f"{start}-{min(start + chunk, total)}",
+                         params={"start": start,
+                                 "stop": min(start + chunk, total)})
+                for start in range(0, max(total, 1), chunk)]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        samples = _suite_samples(self.bundle())
+        start = int(unit.params["start"])
+        stop = int(unit.params["stop"])
+        return _chunk_rows(samples[start:stop], start,
+                           str(self.param("method")))
+
+    def reduce(self, rows: list[dict]) -> ExperimentTable:
+        from repro.datasets.scores import ScoredDataset
+
+        ordered = sorted(rows, key=lambda row: int(row["index"]))
+        aux_names = (tuple(ordered[0]["auxiliary_texts"]) if ordered
+                     else ())
+        dataset = ScoredDataset(
+            labels=np.array([row["label"] for row in ordered], dtype=int),
+            kinds=[row["kind"] for row in ordered],
+            target_texts=[row["target_text"] for row in ordered],
+            auxiliary_texts={name: [row["auxiliary_texts"][name]
+                                    for row in ordered]
+                             for name in aux_names},
+            method=str(self.param("method")),
+            scores=(np.array([row["scores"] for row in ordered],
+                             dtype=np.float64) if ordered
+                    else np.empty((0, len(aux_names)))),
+            auxiliary_order=aux_names,
+        )
+        path = store_scored_dataset(dataset, self.spec.scale, self.spec.seed)
+        kinds = np.array(dataset.kinds) if ordered else np.empty(0, dtype=str)
+        table = ExperimentTable(self.title, self.description)
+        table.add_row(metric="samples", value=len(dataset))
+        for kind in ("benign", "whitebox-ae", "blackbox-ae", "nontargeted-ae"):
+            table.add_row(metric=kind, value=int((kinds == kind).sum()))
+        table.add_row(metric="method", value=dataset.method)
+        table.add_row(metric="cache_path", value=path)
+        return table

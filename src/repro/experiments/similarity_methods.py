@@ -17,7 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets.scores import ScoredDataset
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
 from repro.ml.metrics import classification_report
 from repro.ml.model_selection import train_test_split
 from repro.ml.registry import build_classifier
@@ -32,6 +33,26 @@ TABLE3_SYSTEMS: tuple[tuple[str, ...], ...] = (
 )
 
 
+def _table3_row(dataset: ScoredDataset, method: str,
+                auxiliaries: tuple[str, ...], classifier_name: str,
+                test_fraction: float, seed: int) -> dict:
+    """One Table III cell: one method on one example system."""
+    features, labels = dataset.features_for(auxiliaries, method=method)
+    train_x, test_x, train_y, test_y = train_test_split(
+        features, labels, test_fraction=test_fraction, seed=seed)
+    classifier = build_classifier(classifier_name)
+    classifier.fit(train_x, train_y)
+    report = classification_report(test_y, classifier.predict(test_x))
+    return {
+        "method": method,
+        "system": "DS0+{" + ", ".join(auxiliaries) + "}",
+        "accuracy": report.accuracy,
+        "fpr": report.fpr,
+        "fnr": report.fnr,
+        "n_test": int(test_y.shape[0]),
+    }
+
+
 def run_table3_similarity_methods(dataset: ScoredDataset,
                                   classifier_name: str = "SVM",
                                   test_fraction: float = 0.2,
@@ -41,21 +62,33 @@ def run_table3_similarity_methods(dataset: ScoredDataset,
         "Table III", "Accuracies with different similarity calculation methods")
     for method in SIMILARITY_METHODS:
         for auxiliaries in TABLE3_SYSTEMS:
-            features, labels = dataset.features_for(auxiliaries, method=method)
-            train_x, test_x, train_y, test_y = train_test_split(
-                features, labels, test_fraction=test_fraction, seed=seed)
-            classifier = build_classifier(classifier_name)
-            classifier.fit(train_x, train_y)
-            report = classification_report(test_y, classifier.predict(test_x))
-            table.add_row(
-                method=method,
-                system="DS0+{" + ", ".join(auxiliaries) + "}",
-                accuracy=report.accuracy,
-                fpr=report.fpr,
-                fnr=report.fnr,
-                n_test=int(test_y.shape[0]),
-            )
+            table.rows.append(_table3_row(dataset, method, auxiliaries,
+                                          classifier_name, test_fraction, seed))
     return table
+
+
+@register
+class SimilarityMethodsExperiment(Experiment):
+    """Table III sharded per (method, system) cell — 24 units."""
+
+    name = "similarity_methods"
+    title = "Table III"
+    description = "Accuracies with different similarity calculation methods"
+    defaults = {"test_fraction": 0.2, "split_seed": 7}
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key=f"{method}|{'+'.join(auxiliaries)}",
+                         params={"method": method,
+                                 "auxiliaries": list(auxiliaries)})
+                for method in SIMILARITY_METHODS
+                for auxiliaries in TABLE3_SYSTEMS]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return [_table3_row(self.dataset(), unit.params["method"],
+                            tuple(unit.params["auxiliaries"]),
+                            self.classifier_name,
+                            float(self.param("test_fraction")),
+                            int(self.param("split_seed")))]
 
 
 def best_method(table: ExperimentTable) -> str:

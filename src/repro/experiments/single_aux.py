@@ -9,13 +9,33 @@ classifiers.
 from __future__ import annotations
 
 from repro.datasets.scores import AUXILIARY_ORDER, ScoredDataset
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
 from repro.ml.model_selection import cross_validate
 from repro.ml.registry import CLASSIFIER_NAMES, build_classifier
 
 #: The single-auxiliary systems of Table IV.
 SINGLE_AUX_SYSTEMS: tuple[tuple[str, ...], ...] = tuple(
     (name,) for name in AUXILIARY_ORDER)
+
+
+def crossval_row(dataset: ScoredDataset, classifier_name: str,
+                 auxiliaries: tuple[str, ...], n_splits: int,
+                 seed: int) -> dict:
+    """One cross-validated (classifier, system) cell of Tables IV/V."""
+    features, labels = dataset.features_for(auxiliaries)
+    result = cross_validate(lambda: build_classifier(classifier_name),
+                            features, labels, n_splits=n_splits, seed=seed)
+    return {
+        "classifier": classifier_name,
+        "system": "DS0+{" + ", ".join(auxiliaries) + "}",
+        "accuracy_mean": result.accuracy_mean,
+        "accuracy_std": result.accuracy_std,
+        "fpr_mean": result.fpr_mean,
+        "fpr_std": result.fpr_std,
+        "fnr_mean": result.fnr_mean,
+        "fnr_std": result.fnr_std,
+    }
 
 
 def run_table4_single_auxiliary(dataset: ScoredDataset, n_splits: int = 5,
@@ -25,17 +45,31 @@ def run_table4_single_auxiliary(dataset: ScoredDataset, n_splits: int = 5,
         "Table IV", "Testing results of single-auxiliary-model systems (mean/std)")
     for classifier_name in CLASSIFIER_NAMES:
         for auxiliaries in SINGLE_AUX_SYSTEMS:
-            features, labels = dataset.features_for(auxiliaries)
-            result = cross_validate(lambda: build_classifier(classifier_name),
-                                    features, labels, n_splits=n_splits, seed=seed)
-            table.add_row(
-                classifier=classifier_name,
-                system="DS0+{" + ", ".join(auxiliaries) + "}",
-                accuracy_mean=result.accuracy_mean,
-                accuracy_std=result.accuracy_std,
-                fpr_mean=result.fpr_mean,
-                fpr_std=result.fpr_std,
-                fnr_mean=result.fnr_mean,
-                fnr_std=result.fnr_std,
-            )
+            table.rows.append(crossval_row(dataset, classifier_name,
+                                           auxiliaries, n_splits, seed))
     return table
+
+
+@register
+class SingleAuxExperiment(Experiment):
+    """Table IV sharded per (classifier, system) cell — 9 units."""
+
+    name = "single_aux"
+    title = "Table IV"
+    description = "Testing results of single-auxiliary-model systems (mean/std)"
+    defaults = {"n_splits": 5, "cv_seed": 13, "method": "PE_JaroWinkler"}
+
+    systems: tuple[tuple[str, ...], ...] = SINGLE_AUX_SYSTEMS
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key=f"{classifier_name}|{'+'.join(auxiliaries)}",
+                         params={"classifier": classifier_name,
+                                 "auxiliaries": list(auxiliaries)})
+                for classifier_name in CLASSIFIER_NAMES
+                for auxiliaries in self.systems]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return [crossval_row(self.dataset(), unit.params["classifier"],
+                             tuple(unit.params["auxiliaries"]),
+                             int(self.param("n_splits")),
+                             int(self.param("cv_seed")))]

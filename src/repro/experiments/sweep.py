@@ -1,0 +1,133 @@
+"""Sweep execution: a grid of spec overlays, one merged report.
+
+:func:`run_sweep` expands a :class:`~repro.specs.SweepSpec` into its
+grid points and runs each as a sharded, resumable experiment in its own
+run directory under ``<run_dir>/points/<label>``.  Point labels are
+stable across invocations, so a killed sweep resumes exactly where it
+stopped — completed points are recognised by their finished reports and
+never re-executed, partially-run points resume from their shard
+journals.
+
+The merged report (``report.json`` + ``report.md`` at the sweep root)
+carries one section per point, each row annotated with the point's
+overlay values — the one-command attack×defense / suite-diversity
+matrix the ROADMAP asks for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.experiments.registry import build_experiment
+from repro.experiments.runner import RunResult, execute_experiment, format_table
+from repro.experiments.store import RunStore
+from repro.store import atomic_write_text
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep` invocation."""
+
+    complete: bool
+    total_points: int
+    completed_points: int
+    executed_units: int
+    resumed_units: int
+    run_dir: str
+    report: dict | None = None
+
+
+def _point_dir(run_dir: str, label: str) -> str:
+    return os.path.join(run_dir, "points", label)
+
+
+def run_sweep(sweep, run_dir: str, workers: int | None = None,
+              max_shards: int | None = None) -> SweepResult:
+    """Run every grid point of a sweep, sharded and resumable.
+
+    Args:
+        sweep: a validated :class:`~repro.specs.SweepSpec`.
+        run_dir: the sweep root; per-point runs live under ``points/``.
+        workers: shard worker processes per point (``None`` = each
+            point's spec decides).
+        max_shards: total fresh-shard budget across the *whole* sweep;
+            when it runs out the sweep stops (``complete=False``) and a
+            later invocation picks up from the journals.
+
+    Returns a :class:`SweepResult`; ``report`` is the merged payload
+    once every point completed.
+    """
+    points = sweep.points()
+    os.makedirs(run_dir, exist_ok=True)
+    atomic_write_text(os.path.join(run_dir, "sweep.json"), sweep.to_json())
+
+    budget = max_shards
+    executed = resumed = completed = 0
+    sections = []
+    for point in points:
+        store = RunStore(_point_dir(run_dir, point.label))
+        if budget is not None and budget <= 0:
+            existing = store.report()
+            if existing is not None:
+                completed += 1
+                sections.append((point, existing))
+            continue
+        experiment = build_experiment(point.spec)
+        result: RunResult = execute_experiment(
+            experiment, store=store, workers=workers, max_shards=budget)
+        executed += result.executed_units
+        resumed += result.resumed_units
+        if budget is not None:
+            budget -= result.executed_units
+        if result.complete:
+            completed += 1
+            sections.append((point, store.report()))
+
+    complete = completed == len(points)
+    manifest = {
+        "name": sweep.name or sweep.base.experiment,
+        "status": "complete" if complete else "incomplete",
+        "total_points": len(points),
+        "completed_points": completed,
+    }
+    atomic_write_text(os.path.join(run_dir, "manifest.json"),
+                      json.dumps(manifest, indent=2) + "\n")
+    report = None
+    if complete:
+        report = _write_merged_report(sweep, run_dir, sections)
+    return SweepResult(complete=complete, total_points=len(points),
+                       completed_points=completed, executed_units=executed,
+                       resumed_units=resumed, run_dir=run_dir, report=report)
+
+
+def _write_merged_report(sweep, run_dir: str, sections) -> dict:
+    """Merge per-point reports into one JSON payload + markdown table."""
+    name = sweep.name or sweep.base.experiment
+    payload = {
+        "sweep": name,
+        "experiment": sweep.base.experiment,
+        "grid": {dotted: list(values) for dotted, values in sweep.grid},
+        "points": [{
+            "label": point.label,
+            "overlays": dict(point.overlays),
+            "title": report.get("title", ""),
+            "rows": report.get("rows", []),
+        } for point, report in sections],
+    }
+    atomic_write_text(os.path.join(run_dir, "report.json"),
+                      json.dumps(payload, indent=2) + "\n")
+
+    # One flat markdown table: overlay leaves become leading columns, so
+    # grid points are directly comparable row by row.
+    merged_rows = []
+    for point, report in sections:
+        leaves = {dotted.rsplit(".", 1)[-1]: value
+                  for dotted, value in point.overlays.items()}
+        for row in report.get("rows", []):
+            merged_rows.append({**leaves, **row})
+    title = f"Sweep: {name}" if name else "Sweep"
+    markdown = format_table(merged_rows, title=title)
+    atomic_write_text(os.path.join(run_dir, "report.md"), markdown)
+    return payload

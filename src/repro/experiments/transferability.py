@@ -21,30 +21,57 @@ from repro.attacks.whitebox import WhiteBoxCarliniAttack
 from repro.audio.synthesis import SpeechSynthesizer
 from repro.datasets.builder import DatasetBundle
 from repro.datasets.scores import AUXILIARY_ORDER
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
 from repro.text.corpus import attack_command_corpus, librispeech_like_corpus
 from repro.text.metrics import word_error_rate
+
+
+def _transfer_row(bundle: DatasetBundle, name: str, max_aes: int) -> dict:
+    """One ASR's transfer rate over the white-box AEs."""
+    asr = build_asr(name)
+    aes = bundle.whitebox[:max_aes]
+    successes = 0
+    for sample in aes:
+        command = sample.waveform.metadata.get("target_text", "")
+        transcription = asr.transcribe(sample.waveform).text
+        if command and word_error_rate(command, transcription) == 0.0:
+            successes += 1
+    return {"asr": name,
+            "transfer_rate": successes / max(1, len(aes)),
+            "n_aes": len(aes),
+            "role": "target" if name == "DS0" else "auxiliary"}
 
 
 def run_transferability_study(bundle: DatasetBundle, max_aes: int = 16,
                               seed: int = 31) -> ExperimentTable:
     """AE transfer rates across the ASR suite (white-box AEs vs DS0)."""
-    suite = {"DS0": build_asr("DS0"), **{n: build_asr(n) for n in AUXILIARY_ORDER}}
     table = ExperimentTable(
         "Transferability", "Fraction of DS0-targeted AEs that fool each ASR")
-    aes = bundle.whitebox[:max_aes]
-    for name, asr in suite.items():
-        successes = 0
-        for sample in aes:
-            command = sample.waveform.metadata.get("target_text", "")
-            transcription = asr.transcribe(sample.waveform).text
-            if command and word_error_rate(command, transcription) == 0.0:
-                successes += 1
-        table.add_row(asr=name,
-                      transfer_rate=successes / max(1, len(aes)),
-                      n_aes=len(aes),
-                      role="target" if name == "DS0" else "auxiliary")
+    for name in ("DS0",) + tuple(AUXILIARY_ORDER):
+        table.rows.append(_transfer_row(bundle, name, max_aes))
     return table
+
+
+@register
+class TransferabilityExperiment(Experiment):
+    """Transfer-rate study sharded per ASR — 4 units."""
+
+    name = "transferability"
+    title = "Transferability"
+    description = "Fraction of DS0-targeted AEs that fool each ASR"
+    defaults = {"max_aes": 16}
+
+    def prepare(self) -> None:
+        self.bundle()
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key=name, params={"asr": name})
+                for name in ("DS0",) + tuple(AUXILIARY_ORDER)]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return [_transfer_row(self.bundle(), str(unit.params["asr"]),
+                              int(self.param("max_aes")))]
 
 
 def run_recursive_attack_probe(seed: int = 37,

@@ -21,22 +21,46 @@ from repro.config import DEFAULT_SEED, ReproScale
 from repro.core.detector import MVPEarsDetector
 from repro.datasets.builder import load_standard_bundle
 from repro.defenses.transforms import Transform
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
 from repro.ml.model_selection import train_test_split
 
+#: The three defense modes of the comparison, in table order.
+DEFENSE_MODES = ("transform", "multi-asr", "combined")
 
-def _defense_systems(classifier: str,
-                     transforms: list[Transform] | None,
-                     workers: int | None) -> dict[str, MVPEarsDetector]:
-    # All three systems as declarative specs over one shared target
-    # (fitting happens on the experiment's own split, so fit=False).
-    systems: dict[str, MVPEarsDetector] = {}
-    for mode in ("transform", "multi-asr", "combined"):
-        spec, overrides = default_spec_with_transforms(
-            transforms if mode != "multi-asr" else None,
-            defense=mode, classifier=classifier, workers=workers)
-        systems[mode] = build(spec, fit=False, overrides=overrides)
-    return systems
+
+def _build_defense(mode: str, classifier: str,
+                   transforms: list[Transform] | None,
+                   workers: int | None) -> MVPEarsDetector:
+    # One system as a declarative spec over the shared target (fitting
+    # happens on the experiment's own split, so fit=False).
+    spec, overrides = default_spec_with_transforms(
+        transforms if mode != "multi-asr" else None,
+        defense=mode, classifier=classifier, workers=workers)
+    return build(spec, fit=False, overrides=overrides)
+
+
+def _mode_row(mode: str, bundle, classifier: str,
+              transforms: list[Transform] | None, test_fraction: float,
+              seed: int, workers: int | None) -> dict:
+    """One defense mode's held-out accuracy on the shared split."""
+    detector = _build_defense(mode, classifier, transforms, workers)
+    samples = bundle.all_samples
+    audios = [sample.waveform for sample in samples]
+    labels = np.array([sample.label for sample in samples], dtype=int)
+    features = detector.extract_features(audios)
+    train_x, test_x, train_y, test_y = train_test_split(
+        features, labels, test_fraction=test_fraction, seed=seed)
+    detector.fit_features(train_x, train_y)
+    report = detector.evaluate_features(test_x, test_y)
+    return {
+        "system": mode,
+        "auxiliaries": detector.system_name,
+        "n_versions": detector.n_features,
+        "accuracy": report.accuracy,
+        "fpr": report.fpr,
+        "fnr": report.fnr,
+    }
 
 
 def run_transform_ensemble_comparison(
@@ -59,29 +83,37 @@ def run_transform_ensemble_comparison(
         workers: transcription worker-pool size.
     """
     bundle = load_standard_bundle(scale)
-    samples = bundle.all_samples
-    audios = [sample.waveform for sample in samples]
-    labels = np.array([sample.label for sample in samples], dtype=int)
-
     table = ExperimentTable(
         "Transform ensemble",
         "Detection accuracy of transform vs multi-ASR vs combined auxiliaries")
-    for name, detector in _defense_systems(classifier, transforms,
-                                           workers).items():
-        features = detector.extract_features(audios)
-        train_x, test_x, train_y, test_y = train_test_split(
-            features, labels, test_fraction=test_fraction, seed=seed)
-        detector.fit_features(train_x, train_y)
-        report = detector.evaluate_features(test_x, test_y)
-        table.add_row(
-            system=name,
-            auxiliaries=detector.system_name,
-            n_versions=detector.n_features,
-            accuracy=report.accuracy,
-            fpr=report.fpr,
-            fnr=report.fnr,
-        )
+    for mode in DEFENSE_MODES:
+        table.rows.append(_mode_row(mode, bundle, classifier, transforms,
+                                    test_fraction, seed, workers))
     return table
+
+
+@register
+class TransformEnsembleExperiment(Experiment):
+    """Defense-mode comparison sharded per mode — 3 units."""
+
+    name = "transform_ensemble"
+    title = "Transform ensemble"
+    description = ("Detection accuracy of transform vs multi-ASR vs "
+                   "combined auxiliaries")
+    defaults = {"test_fraction": 0.25}
+
+    def prepare(self) -> None:
+        self.bundle()
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key=mode, params={"mode": mode})
+                for mode in DEFENSE_MODES]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return [_mode_row(str(unit.params["mode"]), self.bundle(),
+                          self.classifier_name, None,
+                          float(self.param("test_fraction")),
+                          self.spec.seed, None)]
 
 
 def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI shim

@@ -18,11 +18,28 @@ import numpy as np
 from repro.core.threshold import ThresholdDetector
 from repro.datasets.scores import ScoredDataset
 from repro.experiments.multi_aux import MULTI_AUX_SYSTEMS
-from repro.experiments.runner import ExperimentTable
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
 from repro.experiments.single_aux import SINGLE_AUX_SYSTEMS
 from repro.ml.metrics import auc as compute_auc
 from repro.ml.metrics import defense_rate, roc_curve
 from repro.ml.registry import build_classifier
+
+
+def _table7_row(dataset: ScoredDataset, auxiliaries: tuple[str, ...],
+                max_fpr: float) -> dict:
+    """One Table VII row: one system's threshold detector."""
+    benign = dataset.benign_features(auxiliaries)
+    adversarial = dataset.adversarial_features(auxiliaries)
+    detector = ThresholdDetector().fit_benign(benign, max_fpr=max_fpr)
+    return {
+        "system": "DS0+{" + ", ".join(auxiliaries) + "}",
+        "threshold": float(detector.threshold),
+        "fpr": detector.false_positive_rate(benign),
+        "false_negatives": int(np.sum(detector.predict(adversarial) == 0)),
+        "fnr": float(np.mean(detector.predict(adversarial) == 0)),
+        "defense_rate": detector.defense_rate(adversarial),
+    }
 
 
 def run_table7_threshold_detector(dataset: ScoredDataset,
@@ -31,17 +48,7 @@ def run_table7_threshold_detector(dataset: ScoredDataset,
     table = ExperimentTable(
         "Table VII", "Detection of unseen-attack AEs by single-auxiliary systems")
     for auxiliaries in SINGLE_AUX_SYSTEMS:
-        benign = dataset.benign_features(auxiliaries)
-        adversarial = dataset.adversarial_features(auxiliaries)
-        detector = ThresholdDetector().fit_benign(benign, max_fpr=max_fpr)
-        table.add_row(
-            system="DS0+{" + ", ".join(auxiliaries) + "}",
-            threshold=float(detector.threshold),
-            fpr=detector.false_positive_rate(benign),
-            false_negatives=int(np.sum(detector.predict(adversarial) == 0)),
-            fnr=float(np.mean(detector.predict(adversarial) == 0)),
-            defense_rate=detector.defense_rate(adversarial),
-        )
+        table.rows.append(_table7_row(dataset, auxiliaries, max_fpr))
     return table
 
 
@@ -56,23 +63,27 @@ class RocResult:
     auc: float
 
 
+def _figure5_roc(dataset: ScoredDataset,
+                 auxiliaries: tuple[str, ...]) -> RocResult:
+    """One system's ROC curve."""
+    benign = dataset.benign_features(auxiliaries)
+    adversarial = dataset.adversarial_features(auxiliaries)
+    detector = ThresholdDetector(threshold=0.5)
+    scores = np.concatenate([detector.decision_scores(benign),
+                             detector.decision_scores(adversarial)])
+    labels = np.concatenate([np.zeros(benign.shape[0], dtype=int),
+                             np.ones(adversarial.shape[0], dtype=int)])
+    fpr, tpr, thresholds = roc_curve(labels, scores)
+    return RocResult(
+        system="DS0+{" + ", ".join(auxiliaries) + "}",
+        fpr=fpr, tpr=tpr, thresholds=thresholds,
+        auc=compute_auc(fpr, tpr))
+
+
 def run_figure5_roc(dataset: ScoredDataset) -> list[RocResult]:
     """ROC curves of the three single-auxiliary threshold detectors."""
-    results = []
-    for auxiliaries in SINGLE_AUX_SYSTEMS:
-        benign = dataset.benign_features(auxiliaries)
-        adversarial = dataset.adversarial_features(auxiliaries)
-        detector = ThresholdDetector(threshold=0.5)
-        scores = np.concatenate([detector.decision_scores(benign),
-                                 detector.decision_scores(adversarial)])
-        labels = np.concatenate([np.zeros(benign.shape[0], dtype=int),
-                                 np.ones(adversarial.shape[0], dtype=int)])
-        fpr, tpr, thresholds = roc_curve(labels, scores)
-        results.append(RocResult(
-            system="DS0+{" + ", ".join(auxiliaries) + "}",
-            fpr=fpr, tpr=tpr, thresholds=thresholds,
-            auc=compute_auc(fpr, tpr)))
-    return results
+    return [_figure5_roc(dataset, auxiliaries)
+            for auxiliaries in SINGLE_AUX_SYSTEMS]
 
 
 def run_table8_cross_attack(dataset: ScoredDataset, seed: int = 19,
@@ -101,3 +112,69 @@ def run_table8_cross_attack(dataset: ScoredDataset, seed: int = 19,
             del train_kind
         table.add_row(**row)
     return table
+
+
+@register
+class Table7Experiment(Experiment):
+    """Table VII sharded per single-auxiliary system — 3 units."""
+
+    name = "unseen_threshold"
+    title = "Table VII"
+    description = "Detection of unseen-attack AEs by single-auxiliary systems"
+    defaults = {"max_fpr": 0.05}
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="+".join(auxiliaries),
+                         params={"auxiliaries": list(auxiliaries)})
+                for auxiliaries in SINGLE_AUX_SYSTEMS]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return [_table7_row(self.dataset(),
+                            tuple(unit.params["auxiliaries"]),
+                            float(self.param("max_fpr")))]
+
+
+@register
+class Figure5Experiment(Experiment):
+    """Figure 5 sharded per system; rows summarise each ROC curve."""
+
+    name = "figure5_roc"
+    title = "Figure 5"
+    description = "ROC of the single-auxiliary threshold detectors"
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="+".join(auxiliaries),
+                         params={"auxiliaries": list(auxiliaries)})
+                for auxiliaries in SINGLE_AUX_SYSTEMS]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        result = _figure5_roc(self.dataset(),
+                              tuple(unit.params["auxiliaries"]))
+        return [{
+            "system": result.system,
+            "auc": float(result.auc),
+            "n_points": int(result.fpr.size),
+        }]
+
+
+@register
+class Table8Experiment(Experiment):
+    """Table VIII: single unit — one RNG stream spans the system loop.
+
+    The wrapper consumes one ``default_rng(seed)`` across all four
+    systems, so splitting systems into shards would change the draws;
+    bit-identity wins over parallelism here.
+    """
+
+    name = "cross_attack"
+    title = "Table VIII"
+    description = "Defense rates of multi-auxiliary systems against unseen attacks"
+    defaults = {"train_seed": 19}
+
+    def shards(self, spec) -> list[WorkUnit]:
+        return [WorkUnit(key="all-systems")]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return run_table8_cross_attack(self.dataset(),
+                                       seed=int(self.param("train_seed")),
+                                       classifier_name=self.classifier_name).rows

@@ -796,6 +796,309 @@ def _replace_path(node: Any, dotted: str, value: Any):
                    **{head: _replace_path(getattr(node, head), rest, value)})
 
 
+# ----------------------------------------------------------- experiment spec
+#: ``REPRO_*`` variables folded onto an :class:`ExperimentSpec` by its
+#: :meth:`~ExperimentSpec.with_env_overlay` (the detector subtree gets
+#: the full :data:`ENV_OVERLAYS` table on top).
+EXPERIMENT_ENV_OVERLAYS: dict[str, tuple[str, Callable[[str], Any]]] = {
+    "REPRO_SCALE": ("scale", str),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment run, declaratively (see docs/EXPERIMENTS.md).
+
+    Attributes:
+        experiment: registry name of the experiment
+            (:func:`repro.experiments.registry.experiment_names`).
+        scale: dataset scale preset (``None`` reads ``REPRO_SCALE``,
+            defaulting to ``small``).
+        seed: dataset seed (the bundle / scored-dataset seed, not the
+            experiment-internal seeds — those live in :attr:`params`).
+        workers: shard worker *processes* (``0`` = run shards inline).
+        params: experiment-specific knobs overriding the experiment's
+            declared defaults (e.g. ``{"n_splits": 3}``).
+        detector: :class:`DetectorSpec` overlay consulted by experiments
+            that build detectors or classifiers (``classifier.name``,
+            ``scoring.scorer``, ``scoring.backend``, ...); sweeps vary
+            its dotted paths per grid point.
+    """
+
+    experiment: str = ""
+    scale: str | None = None
+    seed: int = DEFAULT_SEED
+    workers: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+    detector: DetectorSpec = field(default_factory=DetectorSpec)
+
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        return {"experiment": self.experiment, "scale": self.scale,
+                "seed": self.seed, "workers": self.workers,
+                "params": dict(self.params),
+                "detector": self.detector.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "experiment") -> "ExperimentSpec":
+        data = _expect_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: dict = {}
+        if "experiment" in data:
+            kwargs["experiment"] = _coerce(data["experiment"], str,
+                                           f"{path}.experiment")
+        if "scale" in data:
+            kwargs["scale"] = _coerce(data["scale"], str, f"{path}.scale",
+                                      none_ok=True)
+        if "seed" in data:
+            kwargs["seed"] = _coerce(data["seed"], int, f"{path}.seed")
+        if "workers" in data:
+            kwargs["workers"] = _coerce(data["workers"], int,
+                                        f"{path}.workers")
+        if "params" in data:
+            params = _expect_mapping(data["params"], f"{path}.params")
+            bad = [key for key in params if not isinstance(key, str)]
+            if bad:
+                raise InvalidSpecError(
+                    [f"{path}.params: parameter names must be strings, "
+                     f"got {key!r}" for key in bad])
+            kwargs["params"] = dict(params)
+        if "detector" in data:
+            kwargs["detector"] = DetectorSpec.from_dict(data["detector"],
+                                                        f"{path}.detector")
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, path: str) -> "ExperimentSpec":
+        """Read a spec from the JSON file at ``path`` (strictly parsed)."""
+        with open(path, encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise InvalidSpecError([f"{path}: not valid JSON: {exc}"]) \
+                    from exc
+        return cls.from_dict(data, path=os.path.basename(path))
+
+    # -------------------------------------------------------------- overlays
+    def with_env_overlay(self, env: Mapping[str, str] | None = None
+                         ) -> "ExperimentSpec":
+        """A copy with ``REPRO_*`` variables folded in (env wins).
+
+        ``REPRO_SCALE`` overlays the experiment's own scale; the whole
+        :data:`ENV_OVERLAYS` table overlays the detector subtree, so
+        e.g. ``REPRO_CLASSIFIER`` reaches detector-building experiments.
+        """
+        if env is None:
+            env = os.environ
+        spec = self
+        for variable, (dotted, parse) in EXPERIMENT_ENV_OVERLAYS.items():
+            raw = env.get(variable)
+            if raw is None or raw == "":
+                continue
+            try:
+                value = parse(raw)
+            except (TypeError, ValueError):
+                raise InvalidSpecError(
+                    [f"${variable}: expected {parse.__name__}, "
+                     f"got {raw!r}"]) from None
+            spec = spec.with_value(dotted, value)
+        return replace(spec, detector=spec.detector.with_env_overlay(env))
+
+    def with_value(self, dotted: str, value: Any) -> "ExperimentSpec":
+        """A copy with the field at ``dotted`` path replaced.
+
+        ``"params.<name>"`` sets one experiment parameter;
+        ``"detector.<...>"`` descends the :class:`DetectorSpec` tree
+        (``"detector.scoring.scorer"``); top-level fields are plain
+        names (``"scale"``).
+        """
+        head, _, rest = dotted.partition(".")
+        if head == "params" and rest:
+            params = dict(self.params)
+            params[rest] = value
+            return replace(self, params=params)
+        return _replace_path(self, dotted, value)
+
+    # ------------------------------------------------------------ validation
+    def problems(self, path: str = "experiment") -> list[str]:
+        out = []
+        from repro.experiments.registry import (
+            experiment_defaults,
+            experiment_names,
+        )
+        names = experiment_names()
+        if not self.experiment:
+            out.append(f"{path}.experiment: missing experiment name; "
+                       f"available: {list(names)}")
+        elif self.experiment not in names:
+            out.append(f"{path}.experiment: unknown experiment "
+                       f"{self.experiment!r}; available: {list(names)}")
+        else:
+            allowed = experiment_defaults(self.experiment)
+            for key in sorted(set(self.params) - set(allowed)):
+                out.append(f"{path}.params.{key}: unknown parameter for "
+                           f"{self.experiment!r} "
+                           f"(allowed: {sorted(allowed)})")
+        if self.scale is not None and self.scale not in SCALE_NAMES:
+            out.append(f"{path}.scale: unknown scale preset {self.scale!r}; "
+                       f"available: {list(SCALE_NAMES)}")
+        if self.workers < 0:
+            out.append(f"{path}.workers: must be >= 0, got {self.workers}")
+        out.extend(self.detector.problems())
+        return out
+
+    def validate(self) -> "ExperimentSpec":
+        """Raise :class:`InvalidSpecError` listing *all* problems; else self."""
+        if id(self) in _VALIDATED_IDS:
+            return self
+        problems = self.problems()
+        if problems:
+            raise InvalidSpecError(problems)
+        _VALIDATED_IDS.add(id(self))
+        weakref.finalize(self, _VALIDATED_IDS.discard, id(self))
+        return self
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of spec overlays over one base :class:`ExperimentSpec`.
+
+    The JSON form is an experiment spec plus a ``"grid"`` object (and an
+    optional ``"name"``): each grid key is a dotted
+    :meth:`ExperimentSpec.with_value` path, each value a non-empty list
+    of alternatives.  :meth:`points` expands the cartesian product in
+    declaration order — one resumable run per point.
+    """
+
+    base: ExperimentSpec = field(default_factory=ExperimentSpec)
+    grid: tuple[tuple[str, tuple], ...] = ()
+    name: str = ""
+
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        payload = self.base.to_dict()
+        payload["grid"] = {dotted: list(values)
+                           for dotted, values in self.grid}
+        if self.name:
+            payload["name"] = self.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "sweep") -> "SweepSpec":
+        data = dict(_expect_mapping(data, path))
+        name = _coerce(data.pop("name", ""), str, f"{path}.name")
+        raw_grid = data.pop("grid", {})
+        grid_map = _expect_mapping(raw_grid, f"{path}.grid")
+        problems: list[str] = []
+        grid: list[tuple[str, tuple]] = []
+        for dotted, values in grid_map.items():
+            if not isinstance(values, Sequence) or isinstance(values, str):
+                problems.append(f"{path}.grid.{dotted}: expected a list of "
+                                f"values, got {values!r}")
+                continue
+            if not values:
+                problems.append(f"{path}.grid.{dotted}: must list at least "
+                                f"one value")
+                continue
+            grid.append((str(dotted), tuple(values)))
+        if problems:
+            raise InvalidSpecError(problems)
+        base = ExperimentSpec.from_dict(data, path)
+        return cls(base=base, grid=tuple(grid), name=name)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, path: str) -> "SweepSpec":
+        with open(path, encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise InvalidSpecError([f"{path}: not valid JSON: {exc}"]) \
+                    from exc
+        return cls.from_dict(data, path=os.path.basename(path))
+
+    # ------------------------------------------------------------- expansion
+    def with_env_overlay(self, env: Mapping[str, str] | None = None
+                         ) -> "SweepSpec":
+        """A copy whose base spec has the environment folded in."""
+        return replace(self, base=self.base.with_env_overlay(env))
+
+    def points(self) -> list["SweepPoint"]:
+        """Every grid point: label, overlay values, and the expanded spec.
+
+        Labels are stable across invocations of the same sweep file
+        (``<index>-<leaf>=<value>,...``), which is what lets a killed
+        sweep resume into the same per-point run directories.
+        """
+        import itertools
+        import re
+
+        if not self.grid:
+            return [SweepPoint(label="000-base", overlays={}, spec=self.base)]
+        paths = [dotted for dotted, _ in self.grid]
+        combos = itertools.product(*(values for _, values in self.grid))
+        points = []
+        for index, combo in enumerate(combos):
+            spec = self.base
+            overlays = {}
+            for dotted, value in zip(paths, combo):
+                spec = spec.with_value(dotted, value)
+                overlays[dotted] = value
+            pieces = ",".join(f"{dotted.rsplit('.', 1)[-1]}={value}"
+                              for dotted, value in overlays.items())
+            label = f"{index:03d}-" + re.sub(r"[^A-Za-z0-9_.+=,-]", "-",
+                                             pieces)[:80]
+            points.append(SweepPoint(label=label, overlays=overlays,
+                                     spec=spec))
+        return points
+
+    # ------------------------------------------------------------ validation
+    def problems(self, path: str = "sweep") -> list[str]:
+        out = []
+        seen: set[str] = set()
+        for point in self._expand_for_validation(path, out):
+            for problem in point.spec.problems(path):
+                if problem not in seen:
+                    seen.add(problem)
+                    out.append(problem)
+        return out
+
+    def _expand_for_validation(self, path: str,
+                               out: list[str]) -> list["SweepPoint"]:
+        try:
+            return self.points()
+        except (AttributeError, TypeError) as exc:
+            # An overlay path that does not exist in the spec tree.
+            bad = ", ".join(dotted for dotted, _ in self.grid)
+            out.append(f"{path}.grid: cannot apply overlay ({bad}): {exc}")
+            return []
+
+    def validate(self) -> "SweepSpec":
+        """Raise :class:`InvalidSpecError` listing *all* problems; else self."""
+        if id(self) in _VALIDATED_IDS:
+            return self
+        problems = self.problems()
+        if problems:
+            raise InvalidSpecError(problems)
+        _VALIDATED_IDS.add(id(self))
+        weakref.finalize(self, _VALIDATED_IDS.discard, id(self))
+        return self
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded grid point of a :class:`SweepSpec`."""
+
+    label: str
+    overlays: Mapping[str, Any]
+    spec: ExperimentSpec
+
+
 def _transform_specs(transforms: Any) -> list[TransformSpec]:
     """Coerce the ``transforms`` argument of :meth:`DetectorSpec.default`."""
     if transforms is None:
