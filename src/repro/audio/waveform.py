@@ -33,7 +33,12 @@ class Waveform:
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        samples = np.asarray(self.samples, dtype=np.float64)
+        # Normalise to C-contiguous float64 exactly once at ingest, so
+        # shared-memory copies, content hashing and DSP framing can all
+        # assume a flat buffer and never re-convert per stage.  For an
+        # already-contiguous float64 array (including read-only
+        # shared-memory views) this is a no-copy passthrough.
+        samples = np.ascontiguousarray(self.samples, dtype=np.float64)
         if samples.ndim != 1:
             raise ValueError("Waveform samples must be one-dimensional")
         if self.sample_rate <= 0:

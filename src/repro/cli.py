@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -197,7 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "summary instead of text")
 
     bench = commands.add_parser(
-        "bench", help="benchmark sequential vs batched vs micro-batched serving")
+        "bench", help="benchmark sequential vs batched vs micro-batched "
+                      "serving; 'bench all' writes the full BENCH_*.json "
+                      "perf trajectory")
+    bench.add_argument("what", nargs="?", default=None, choices=("all",),
+                       help="'all' runs bench-similarity, bench-pipeline and "
+                            "bench-serve at a fixed tiny scale and writes "
+                            "the three BENCH_*.json trajectory files")
+    bench.add_argument("--output-dir", default=".", metavar="DIR",
+                       help="where 'bench all' writes the BENCH_*.json "
+                            "files (default: current directory)")
     bench.add_argument("--clips", type=int, default=12,
                        help="number of synthesised clips (default: 12)")
     bench.add_argument("--batch-size", type=int, default=8,
@@ -272,6 +282,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--cache-dir", default=None, metavar="DIR",
                              help="shared on-disk cache directory for the "
                                   "worker pool (default: none)")
+    bench_serve.add_argument("--transport", default="shm",
+                             choices=("shm", "pickle", "both"),
+                             help="audio data plane: shared-memory "
+                                  "descriptors, pickled arrays, or both "
+                                  "back to back with a speedup comparison "
+                                  "(default: shm)")
+    bench_serve.add_argument("--clip-seconds", type=float, default=None,
+                             metavar="SECONDS",
+                             help="zero-pad every clip to a fixed duration "
+                                  "so the per-request payload is known "
+                                  "(default: natural clip lengths; "
+                                  "--transport both defaults to 5)")
     bench_serve.add_argument("--output", default="BENCH_serve.json",
                              metavar="PATH",
                              help="where to write the machine-readable "
@@ -625,12 +647,73 @@ def _bench_workload(n_clips: int, seed: int):
     return [synthesizer.synthesize(sentence) for sentence in sentences]
 
 
+def cmd_bench_all(args: argparse.Namespace) -> int:
+    """``repro bench all``: the unified perf trajectory.
+
+    Runs the three component benchmarks back to back at one fixed tiny
+    scale and writes ``BENCH_similarity.json`` / ``BENCH_pipeline.json``
+    / ``BENCH_serve.json`` under ``--output-dir``, so successive commits
+    leave a comparable performance trail.  Every benchmark's parity gate
+    still applies: a report is always written, but any divergence fails
+    the command after all three ran.
+    """
+    from repro.pipeline.bench import run_pipeline_benchmark
+    from repro.serving.bench import compare_transports
+    from repro.similarity.bench import run_similarity_benchmark
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    failures: list[str] = []
+
+    sim_path = os.path.join(args.output_dir, "BENCH_similarity.json")
+    sim = run_similarity_benchmark(n_pairs=120, overlap=4, repeats=2, seed=0)
+    with open(sim_path, "w", encoding="utf-8") as handle:
+        json.dump(sim, handle, indent=2)
+    if sim["parity_max_abs_diff"] != 0.0:
+        failures.append(f"similarity backend parity violation "
+                        f"(report in {sim_path})")
+    print(f"bench-similarity: batch {sim['batch']['speedup']:.2f}x, "
+          f"stream {sim['stream']['speedup']:.2f}x vs reference "
+          f"-> {sim_path}")
+
+    pipe_path = os.path.join(args.output_dir, "BENCH_pipeline.json")
+    pipe = run_pipeline_benchmark(n_clips=4, repeats=2, seed=0)
+    with open(pipe_path, "w", encoding="utf-8") as handle:
+        json.dump(pipe, handle, indent=2)
+    if pipe["parity_mismatches"] != 0:
+        failures.append(f"pipeline parity violation "
+                        f"(report in {pipe_path})")
+    print(f"bench-pipeline: cold {pipe['cold']['speedup']:.2f}x, "
+          f"warm {pipe['warm']['speedup']:.2f}x vs reference "
+          f"-> {pipe_path}")
+
+    serve_path = os.path.join(args.output_dir, "BENCH_serve.json")
+    serve = compare_transports(n_streams=24, n_clips=6, workers=2, seed=0,
+                               clip_seconds=5.0)
+    with open(serve_path, "w", encoding="utf-8") as handle:
+        json.dump(serve, handle, indent=2)
+    for transport, section in serve["transports"].items():
+        if section["parity_mismatches"] != 0:
+            failures.append(f"serving parity violation under the "
+                            f"{transport} transport "
+                            f"(report in {serve_path})")
+    speedup = serve.get("speedup_shm_vs_pickle")
+    speedup_text = f"{speedup:.2f}x" if speedup is not None else "n/a"
+    print(f"bench-serve: {serve['n_streams']} streams, "
+          f"shm {speedup_text} pickle throughput -> {serve_path}")
+
+    if failures:
+        raise CliError("; ".join(failures))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.pipeline.cache import TranscriptionCache
     from repro.pipeline.detection import DetectionPipeline
     from repro.serving.batcher import MicroBatcher
     from repro.serving.metrics import ServingMetrics
 
+    if args.what == "all":
+        return cmd_bench_all(args)
     detector = _build_detector(args)
     clips = _bench_workload(args.clips, args.seed)
     report: dict = {"clips": len(clips)}
@@ -815,7 +898,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 # -------------------------------------------------------------- bench-serve
 def cmd_bench_serve(args: argparse.Namespace) -> int:
-    from repro.serving.bench import run_serve_benchmark
+    from repro.serving.bench import compare_transports, run_serve_benchmark
 
     if args.streams < 1:
         raise CliError("--streams must be >= 1")
@@ -823,17 +906,33 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         raise CliError("--clips must be >= 1")
     if args.workers < 1:
         raise CliError("--workers must be >= 1")
-    report = run_serve_benchmark(
-        n_streams=args.streams, n_clips=args.clips, workers=args.workers,
-        seed=args.seed, timeout_seconds=args.timeout,
-        cache_dir=args.cache_dir)
+    if args.clip_seconds is not None and args.clip_seconds <= 0:
+        raise CliError("--clip-seconds must be > 0")
+    if args.transport == "both":
+        report = compare_transports(
+            n_streams=args.streams, n_clips=args.clips, workers=args.workers,
+            seed=args.seed, timeout_seconds=args.timeout,
+            cache_dir=args.cache_dir,
+            clip_seconds=(args.clip_seconds
+                          if args.clip_seconds is not None else 5.0))
+        total_mismatches = sum(
+            section["parity_mismatches"]
+            for section in report["transports"].values())
+    else:
+        report = run_serve_benchmark(
+            n_streams=args.streams, n_clips=args.clips, workers=args.workers,
+            seed=args.seed, timeout_seconds=args.timeout,
+            cache_dir=args.cache_dir, transport=args.transport,
+            clip_seconds=args.clip_seconds)
+        total_mismatches = report["parity_mismatches"]
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
-    if report["parity_mismatches"] != 0:
+    if total_mismatches != 0:
         # The service's contract is the sequential path's verdicts,
-        # bit for bit; a divergence is a defect, not a benchmark result.
+        # bit for bit; a divergence is a defect, not a benchmark result
+        # — and no speedup may be reported on top of one.
         raise CliError(
-            f"serving parity violation: {report['parity_mismatches']} of "
+            f"serving parity violation: {total_mismatches} of "
             f"{report['n_streams']} streams diverged from the sequential "
             f"path ({report['failed_requests']} resolved to non-ok "
             f"results; report in {args.output})")
@@ -843,13 +942,24 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     service = report["service"]
     sequential = report["sequential"]
     print(f"workload: {report['n_streams']} concurrent streams over "
-          f"{report['n_clips']} distinct clips, {report['workers']} workers")
+          f"{report['n_clips']} distinct clips, {report['workers']} workers, "
+          f"transport {report['active_transport']}")
     print(f"service    {service['wall_seconds']:8.3f} s  "
           f"{service['throughput_rps']:8.1f} req/s  "
           f"p50 {service['p50_ms']:7.1f} ms  p99 {service['p99_ms']:7.1f} ms")
     print(f"sequential {sequential['wall_seconds']:8.3f} s  "
           f"{sequential['throughput_rps']:8.1f} req/s  "
           f"per-request {sequential['per_request_ms']:7.1f} ms")
+    ipc = report["ipc"]
+    print(f"ipc: {ipc['bytes_out']:,} B out "
+          f"({ipc['bytes_out_per_request']:,.0f} B/request), "
+          f"{ipc['bytes_in']:,} B in")
+    if args.transport == "both":
+        pickle_ipc = report["transports"]["pickle"]["ipc"]
+        speedup = report["speedup_shm_vs_pickle"]
+        print(f"transports: shm {ipc['bytes_out']:,} B out vs pickle "
+              f"{pickle_ipc['bytes_out']:,} B out; "
+              f"shm throughput {speedup:.2f}x pickle")
     stats = report["stats"]
     print(f"parity: 0 of {report['n_streams']} verdicts diverged; "
           f"{stats['retries']} retries, {stats['respawns']} respawns "

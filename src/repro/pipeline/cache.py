@@ -39,8 +39,6 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.asr.base import Transcription
 from repro.audio.waveform import Waveform
 
@@ -48,7 +46,9 @@ from repro.audio.waveform import Waveform
 def waveform_fingerprint(audio: Waveform) -> str:
     """Content hash identifying a waveform's audio (samples + rate)."""
     digest = hashlib.sha1()
-    digest.update(np.ascontiguousarray(audio.samples).tobytes())
+    # Waveform guarantees C-contiguous float64 samples at ingest, so the
+    # raw buffer is the canonical content — no per-lookup re-conversion.
+    digest.update(audio.samples.tobytes())
     digest.update(str(int(audio.sample_rate)).encode("ascii"))
     return digest.hexdigest()
 

@@ -15,6 +15,9 @@ detector sitting on the serving path of a voice assistant, Section V-I):
   micro-batching scheduler for concurrent single-clip requests.
 * :mod:`repro.serving.metrics` — :class:`ServingMetrics`, per-stage
   throughput/latency counters surfaced by ``repro bench``.
+* :mod:`repro.serving.arena` — :class:`ShmArena`, the shared-memory
+  slab the service's zero-copy ``"shm"`` transport writes audio into
+  (generation-tagged slots, crash-safe reclamation).
 * :mod:`repro.serving.service` — :class:`DetectionService`, the
   multi-tenant multi-process front door (admission control, deadlines,
   crash recovery, shared caches) behind ``repro serve``.
@@ -23,6 +26,14 @@ See ``docs/SERVING.md`` for the full tour and ``docs/API.md`` for the
 stable public surface.
 """
 
+from repro.serving.arena import (
+    ArenaError,
+    ShmArena,
+    ShmClip,
+    SlotRef,
+    StaleSlot,
+    list_arena_segments,
+)
 from repro.serving.aggregator import (
     ADVERSARIAL,
     BENIGN,
@@ -48,6 +59,12 @@ from repro.serving.service import (
 from repro.serving.streaming import StreamingDetector, StreamSession
 
 __all__ = [
+    "ArenaError",
+    "ShmArena",
+    "ShmClip",
+    "SlotRef",
+    "StaleSlot",
+    "list_arena_segments",
     "ADVERSARIAL",
     "BENIGN",
     "FlaggedSpan",

@@ -53,7 +53,9 @@ def run_serve_benchmark(n_streams: int = 100, n_clips: int = 12,
                         workers: int = 2, seed: int = 0,
                         timeout_seconds: float = 120.0,
                         cache_dir: str | None = None,
-                        spec=None, fit: bool = True) -> dict:
+                        spec=None, fit: bool = True,
+                        transport: str = "shm",
+                        clip_seconds: float | None = None) -> dict:
     """Benchmark the service against the sequential path; return a report.
 
     The service pass runs first (cold worker caches — the pool is
@@ -62,14 +64,28 @@ def run_serve_benchmark(n_streams: int = 100, n_clips: int = 12,
     score vector must equal its sequential twin bitwise; otherwise the
     ``service`` section of the report is ``None`` and
     ``parity_mismatches`` says why.
+
+    ``transport`` selects the audio data plane (``"shm"`` descriptors
+    or ``"pickle"`` full arrays — see
+    :mod:`repro.serving.service`); the report's ``ipc`` section says
+    how many payload bytes each moved.  ``clip_seconds`` zero-pads (or
+    truncates) every clip to a fixed duration, so transport comparisons
+    measure a known per-request payload (5 s of 16 kHz float64 audio is
+    ~640 KB pickled vs a 192-byte descriptor).
     """
     from repro.build import build, build_pipeline, resolve_spec
+    from repro.config import SAMPLE_RATE
     from repro.serving.service import DetectionService
 
     if n_streams < 1:
         raise ValueError("n_streams must be >= 1")
     spec = resolve_spec(spec)
     clips = benchmark_clips(n_clips, seed)
+    if clip_seconds is not None:
+        if clip_seconds <= 0:
+            raise ValueError("clip_seconds must be > 0")
+        clips = [clip.padded_to(int(clip_seconds * SAMPLE_RATE))
+                 for clip in clips]
     workload = [clips[i % len(clips)] for i in range(n_streams)]
 
     pipeline = build_pipeline(detector=build(spec, fit=fit))
@@ -78,7 +94,8 @@ def run_serve_benchmark(n_streams: int = 100, n_clips: int = 12,
         queue_depth=max(n_streams, 1),
         request_timeout_seconds=timeout_seconds,
         max_batch_size=spec.serving.max_batch_size,
-        cache_dir=cache_dir)
+        cache_dir=cache_dir,
+        transport=transport)
     with service:
         start = time.perf_counter()
         results = asyncio.run(_drive(service, "default", workload))
@@ -105,6 +122,9 @@ def run_serve_benchmark(n_streams: int = 100, n_clips: int = 12,
         "n_clips": n_clips,
         "workers": workers,
         "seed": seed,
+        "transport": transport,
+        "active_transport": service.active_transport,
+        "clip_seconds": clip_seconds,
         "parity_mismatches": mismatches,
         "failed_requests": len(failed),
         "sequential": {
@@ -119,7 +139,14 @@ def run_serve_benchmark(n_streams: int = 100, n_clips: int = 12,
             "timeouts": stats.timeouts,
             "errors": stats.errors,
             "retries": stats.retries,
+            "requests_retried": stats.requests_retried,
             "respawns": stats.respawns,
+        },
+        "ipc": {
+            "bytes_out": stats.ipc_bytes_out,
+            "bytes_in": stats.ipc_bytes_in,
+            "bytes_out_per_request": (stats.ipc_bytes_out / n_streams
+                                      if n_streams else 0.0),
         },
         "service": None,
     }
@@ -137,3 +164,46 @@ def run_serve_benchmark(n_streams: int = 100, n_clips: int = 12,
             "queue_p99_ms": float(np.percentile(queue_ms, 99)),
         }
     return report
+
+
+def compare_transports(n_streams: int = 100, n_clips: int = 12,
+                       workers: int = 2, seed: int = 0,
+                       timeout_seconds: float = 120.0,
+                       cache_dir: str | None = None,
+                       spec=None, fit: bool = True,
+                       clip_seconds: float | None = 5.0) -> dict:
+    """Run the serve benchmark under both transports on one workload.
+
+    Returns the ``"shm"`` report extended with a ``transports`` section
+    holding each transport's per-transport numbers and the headline
+    ``speedup_shm_vs_pickle`` throughput ratio (``None`` while either
+    side failed its parity gate — a speedup measured on wrong answers
+    is not a speedup).  The top-level shape stays that of a single
+    :func:`run_serve_benchmark` report, so existing report consumers
+    keep working.
+    """
+    reports = {}
+    for transport in ("pickle", "shm"):
+        reports[transport] = run_serve_benchmark(
+            n_streams=n_streams, n_clips=n_clips, workers=workers,
+            seed=seed, timeout_seconds=timeout_seconds,
+            cache_dir=cache_dir, spec=spec, fit=fit,
+            transport=transport, clip_seconds=clip_seconds)
+    shm, pickle_ = reports["shm"], reports["pickle"]
+    speedup = None
+    if (shm["service"] is not None and pickle_["service"] is not None
+            and pickle_["service"]["throughput_rps"] > 0):
+        speedup = (shm["service"]["throughput_rps"]
+                   / pickle_["service"]["throughput_rps"])
+    combined = dict(shm)
+    combined["transports"] = {
+        transport: {
+            "active_transport": rep["active_transport"],
+            "parity_mismatches": rep["parity_mismatches"],
+            "service": rep["service"],
+            "ipc": rep["ipc"],
+        }
+        for transport, rep in reports.items()
+    }
+    combined["speedup_shm_vs_pickle"] = speedup
+    return combined

@@ -75,6 +75,12 @@ class ServingMetrics:
         feature_cache_hits: front-end feature matrices served from the
             feature cache.
         feature_cache_misses: front-end feature matrices computed.
+        ipc_bytes_out: audio payload bytes shipped to worker processes
+            (descriptors under the shm transport, full arrays under
+            pickle) — mirrored from
+            :class:`~repro.serving.service.ServiceStats`.
+        ipc_bytes_in: result payload bytes shipped back from workers.
+        requests_retried: distinct requests retried after a worker crash.
     """
 
     stages: dict = field(default_factory=dict)
@@ -86,6 +92,9 @@ class ServingMetrics:
     score_cache_misses: int = 0
     feature_cache_hits: int = 0
     feature_cache_misses: int = 0
+    ipc_bytes_out: int = 0
+    ipc_bytes_in: int = 0
+    requests_retried: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -118,6 +127,15 @@ class ServingMetrics:
         """Record how long one request waited for its micro-batch."""
         with self._lock:
             self._queue_wait_samples.append(seconds)
+
+    def observe_service(self, stats) -> None:
+        """Fold a :class:`~repro.serving.service.ServiceStats` snapshot's
+        transport counters into these metrics (idempotent per snapshot:
+        callers pass deltas or call once at the end of a run)."""
+        with self._lock:
+            self.ipc_bytes_out += getattr(stats, "ipc_bytes_out", 0)
+            self.ipc_bytes_in += getattr(stats, "ipc_bytes_in", 0)
+            self.requests_retried += getattr(stats, "requests_retried", 0)
 
     # ----------------------------------------------------------- reporting
     def snapshot(self) -> dict:
@@ -156,6 +174,9 @@ class ServingMetrics:
                 "feature_cache_hit_rate": (
                     self.feature_cache_hits / feature_lookups
                     if feature_lookups else 0.0),
+                "ipc_bytes_out": self.ipc_bytes_out,
+                "ipc_bytes_in": self.ipc_bytes_in,
+                "requests_retried": self.requests_retried,
                 "stages": stages,
                 "latency_seconds": {
                     "p50": _percentile(latencies, 0.50),
@@ -203,4 +224,8 @@ class ServingMetrics:
             lines.append(f"queue wait       p50 {queue['p50'] * 1000:.1f} ms  "
                          f"p95 {queue['p95'] * 1000:.1f} ms  "
                          f"max {queue['max'] * 1000:.1f} ms")
+        if snap["ipc_bytes_out"] or snap["ipc_bytes_in"]:
+            lines.append(f"ipc              out {snap['ipc_bytes_out']} B  "
+                         f"in {snap['ipc_bytes_in']} B  "
+                         f"retried {snap['requests_retried']}")
         return "\n".join(lines)

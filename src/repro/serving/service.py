@@ -37,8 +37,26 @@ transcribed by worker 1 is a cache hit on worker 2.
 Fork, not spawn, is a hard requirement: detectors hold thread locks
 and unpicklable component graphs.  The pool is forked from
 :meth:`start` before the service's own threads exist; respawned
-workers get a *fresh* task queue and only ever touch the put side of
-the result queue, which the parent's threads never hold at fork time.
+workers get a *fresh* task queue and a *fresh* result pipe.  Results
+travel over one :func:`multiprocessing.Pipe` per worker, never a
+shared queue: a shared queue's write lock is a cross-process
+semaphore, and a worker SIGKILL'd inside it would wedge every other
+worker's result path forever.  With per-worker pipes a dead worker
+can only poison its own channel, which the collector observes as a
+clean EOF and retires.
+
+The audio data plane between the dispatcher and the pool is selected
+by ``transport``: ``"shm"`` (the default) writes each clip's samples
+once into a :class:`~repro.serving.arena.ShmArena` created before the
+fork and ships only ``(slot, offset, shape, dtype, generation)``
+descriptors through the task queues — a retry re-dispatches the same
+descriptor with zero extra copies, slots are reclaimed exactly when
+their request resolves (crashed or not), and the arena segment is
+always unlinked on :meth:`stop`; ``"pickle"`` ships the full sample
+arrays through the queues (the pre-arena behaviour, kept as the
+fallback for platforms without POSIX shared memory and as the
+benchmark baseline).  Both transports are bit-identical — the
+``bench-serve`` parity gate covers each.
 """
 
 from __future__ import annotations
@@ -46,6 +64,7 @@ from __future__ import annotations
 import itertools
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
 import queue
 import threading
@@ -56,9 +75,20 @@ from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 from repro.audio.waveform import Waveform
+from repro.serving.arena import (
+    DESCRIPTOR_NBYTES,
+    ArenaError,
+    ShmArena,
+    ShmClip,
+    restore_waveform,
+    share_waveform,
+)
 
 #: Typed outcome statuses, with their HTTP-flavoured codes.
 STATUS_CODES = {"ok": 200, "rejected": 429, "timeout": 504, "error": 500}
+
+#: Valid ``transport`` values (mirrors ``repro.specs.SERVE_TRANSPORTS``).
+TRANSPORTS = ("shm", "pickle")
 
 
 @dataclass(frozen=True)
@@ -106,7 +136,17 @@ class ServeResult:
 
 @dataclass
 class ServiceStats:
-    """Counters of one :class:`DetectionService`'s lifetime."""
+    """Counters of one :class:`DetectionService`'s lifetime.
+
+    ``ipc_bytes_out`` approximates the audio payload bytes shipped
+    through the task queues (full sample arrays under the pickle
+    transport, constant-size descriptors under shm, counted per
+    dispatch including retries); ``ipc_bytes_in`` approximates the
+    result payload bytes shipped back.  ``requests_retried`` counts the
+    distinct requests that were ever retried after a worker crash
+    (``retries`` counts retry *events*; they coincide under the
+    retry-once policy).
+    """
 
     submitted: int = 0
     rejected: int = 0
@@ -114,7 +154,10 @@ class ServiceStats:
     timeouts: int = 0
     errors: int = 0
     retries: int = 0
+    requests_retried: int = 0
     respawns: int = 0
+    ipc_bytes_out: int = 0
+    ipc_bytes_in: int = 0
 
     def snapshot(self) -> "ServiceStats":
         return replace(self)
@@ -134,6 +177,9 @@ class _Request:
     dispatched_at: float | None = None
     worker_id: int = -1
     retried: bool = False
+    #: Arena-resident samples (shm transport): written at first
+    #: dispatch, reused verbatim on a crash retry, freed at resolution.
+    shm_clip: ShmClip | None = None
 
 
 def _refresh_shared_caches(pipelines: Mapping[str, Any]) -> None:
@@ -159,16 +205,46 @@ def _detect_one(pipeline, audio: Waveform) -> dict:
     }
 
 
+def _materialise(arena: ShmArena | None, payload) -> Waveform:
+    """Turn a task payload back into a waveform.
+
+    A :class:`ShmClip` becomes a zero-copy read-only view over the
+    fork-inherited arena pages; anything else travelled by value.
+    Raises :class:`~repro.serving.arena.ArenaError` (``StaleSlot``) when
+    the descriptor's slot was reclaimed — the caller converts that into
+    a typed error rather than reading reused bytes.
+    """
+    if isinstance(payload, ShmClip):
+        if arena is None:
+            raise ArenaError("shm payload but worker has no arena")
+        return restore_waveform(arena, payload)
+    return payload
+
+
+def _post_result(result_conn, item) -> None:
+    """Send one result over the worker's pipe; drop it if the parent
+    has already closed its end (the service is stopping — nobody will
+    read the answer, and dying on EPIPE would look like a crash)."""
+    try:
+        result_conn.send(item)
+    except (BrokenPipeError, OSError):
+        pass
+
+
 def _worker_main(worker_id: int, pipelines: Mapping[str, Any],
-                 task_q, result_q, max_batch_size: int,
-                 shared_caches: bool) -> None:
+                 task_q, result_conn, max_batch_size: int,
+                 shared_caches: bool, arena: ShmArena | None = None) -> None:
     """Worker loop: drain a micro-batch, detect per tenant, post results.
 
-    Tasks are ``(key, tenant, waveform)`` tuples; ``None`` is the
-    shutdown sentinel.  Requests of the same tenant within one drain
-    are detected with one ``detect_batch`` call (amortised classifier
-    overhead); an exception during the batch falls back to per-request
-    detection so one poisoned clip cannot fail its batchmates.
+    Tasks are ``(key, tenant, payload)`` tuples — the payload is a
+    :class:`~repro.audio.waveform.Waveform` (pickle transport) or a
+    :class:`~repro.serving.arena.ShmClip` descriptor (shm transport);
+    ``None`` is the shutdown sentinel.  Results go back over this
+    worker's private ``result_conn`` pipe end.  Requests of the same
+    tenant within one drain are detected with one ``detect_batch``
+    call (amortised classifier overhead); an exception during the
+    batch falls back to per-request detection so one poisoned clip
+    cannot fail its batchmates.
     """
     # A parent that already served requests forked live thread pools
     # into this child; their threads do not exist here, so any engine
@@ -188,22 +264,33 @@ def _worker_main(worker_id: int, pipelines: Mapping[str, Any],
             except queue.Empty:
                 break
             if extra is None:
-                _run_batch(worker_id, pipelines, batch, result_q,
-                           shared_caches)
+                _run_batch(worker_id, pipelines, batch, result_conn,
+                           shared_caches, arena)
                 return
             batch.append(extra)
-        _run_batch(worker_id, pipelines, batch, result_q, shared_caches)
+        _run_batch(worker_id, pipelines, batch, result_conn, shared_caches,
+                   arena)
 
 
-def _run_batch(worker_id: int, pipelines, batch, result_q,
-               shared_caches: bool) -> None:
+def _run_batch(worker_id: int, pipelines, batch, result_conn,
+               shared_caches: bool, arena: ShmArena | None = None) -> None:
     if shared_caches:
         try:
             _refresh_shared_caches(pipelines)
         except Exception:
             pass  # a torn refresh must never take down the batch
     by_tenant: dict[str, list] = {}
-    for key, tenant, audio in batch:
+    for key, tenant, payload in batch:
+        try:
+            audio = _materialise(arena, payload)
+        except ArenaError as exc:
+            # A stale/unreadable descriptor must not poison the batch:
+            # answer this request with a typed error and keep going.
+            _post_result(result_conn, (worker_id, key, {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }))
+            continue
         by_tenant.setdefault(tenant, []).append((key, audio))
     for tenant, items in by_tenant.items():
         pipeline = pipelines[tenant]
@@ -230,7 +317,7 @@ def _run_batch(worker_id: int, pipelines, batch, result_q,
                         "error": f"{type(exc).__name__}: {exc}",
                     }))
         for key, payload in payloads:
-            result_q.put((worker_id, key, payload))
+            _post_result(result_conn, (worker_id, key, payload))
 
 
 class DetectionService:
@@ -253,21 +340,38 @@ class DetectionService:
         cache_dir: optional directory of concurrency-safe shared cache
             stores rewired onto every tenant's engines (see
             :func:`attach_shared_caches`).
+        transport: audio data plane — ``"shm"`` (default) ships samples
+            through a shared-memory arena, ``"pickle"`` through the
+            task queues; see the module docstring.  When shared memory
+            is unavailable the service silently degrades to pickle
+            (``active_transport`` reports what actually runs).
+        arena_bytes: shm arena capacity.  The default budgets one
+            megabyte (~8 s of 16 kHz float64 audio) per admissible
+            request; clips that do not fit fall back to pickle per
+            dispatch.
     """
 
     _TICK_SECONDS = 0.005
+
+    #: Default per-admissible-request arena budget (see ``arena_bytes``).
+    _ARENA_BYTES_PER_REQUEST = 1 << 20
 
     def __init__(self, pipelines: Mapping[str, Any], *, workers: int = 2,
                  queue_depth: int = 64,
                  request_timeout_seconds: float | None = 30.0,
                  max_batch_size: int = 8,
-                 cache_dir: str | None = None):
+                 cache_dir: str | None = None,
+                 transport: str = "shm",
+                 arena_bytes: int | None = None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         if request_timeout_seconds is not None and request_timeout_seconds <= 0:
             raise ValueError("request_timeout_seconds must be > 0 or None")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, "
+                             f"got {transport!r}")
         from repro.pipeline.detection import DetectionPipeline
         self.pipelines: dict[str, Any] = {}
         for tenant, obj in pipelines.items():
@@ -279,13 +383,27 @@ class DetectionService:
         self.request_timeout_seconds = request_timeout_seconds
         self.max_batch_size = max(1, max_batch_size)
         self.cache_dir = cache_dir
+        self.transport = transport
+        #: What actually runs — ``"pickle"`` when shm was requested but
+        #: unavailable (set by :meth:`start`), and always for workers=0.
+        self.active_transport = transport if workers > 0 else "pickle"
+        self.arena_bytes = (int(arena_bytes) if arena_bytes is not None
+                            else self._ARENA_BYTES_PER_REQUEST
+                            * max(1, queue_depth))
+        self._arena: ShmArena | None = None
         if cache_dir is not None:
             attach_shared_caches(self.pipelines, cache_dir)
         self.stats = ServiceStats()
         self._ctx = multiprocessing.get_context("fork")
         self._procs: dict[int, Any] = {}
         self._task_qs: dict[int, Any] = {}
-        self._result_q = None
+        # One result pipe (recv end) per live worker, plus dead workers'
+        # ends the collector has not yet drained to EOF.  Mutated with
+        # GIL-atomic list ops only: _spawn runs under self._lock while
+        # the collector reads without it.
+        self._result_conns: list[Any] = []
+        self._wake_r = None
+        self._wake_w = None
         self._lock = threading.Lock()
         self._pending: deque[_Request] = deque()
         self._inflight: dict[int, dict[int, _Request]] = {}
@@ -298,12 +416,30 @@ class DetectionService:
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> "DetectionService":
-        """Fork the worker pool and start the dispatcher/collector."""
+        """Fork the worker pool and start the dispatcher/collector.
+
+        The shm arena is created *before* the first fork so every
+        worker — including later respawns, which fork from this same
+        parent — inherits the mapping; if creation fails (no POSIX
+        shared memory, /dev/shm full) the service degrades to the
+        pickle transport instead of refusing to start.
+        """
         if self._started:
             return self
         self._started = True
         if self.workers > 0:
-            self._result_q = self._ctx.Queue()
+            if self.transport == "shm":
+                try:
+                    self._arena = ShmArena(
+                        self.arena_bytes,
+                        slots=max(64, self.queue_depth + 16))
+                    self.active_transport = "shm"
+                except (ImportError, OSError, ValueError):
+                    self._arena = None
+                    self.active_transport = "pickle"
+            else:
+                self.active_transport = "pickle"
+            self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
             for worker_id in range(self.workers):
                 self._spawn(worker_id)
             self._dispatcher = threading.Thread(
@@ -315,7 +451,8 @@ class DetectionService:
         return self
 
     def _spawn(self, worker_id: int) -> None:
-        """Fork one worker with a fresh task queue (also used on respawn)."""
+        """Fork one worker with a fresh task queue and result pipe
+        (also used on respawn)."""
         old_q = self._task_qs.get(worker_id)
         if old_q is not None:
             # Retire the dead worker's queue.  Its feeder thread may be
@@ -326,55 +463,93 @@ class DetectionService:
             old_q.close()
             old_q.cancel_join_thread()
         task_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(worker_id, self.pipelines, task_q, self._result_q,
-                  self.max_batch_size, self.cache_dir is not None),
+            args=(worker_id, self.pipelines, task_q, send_conn,
+                  self.max_batch_size, self.cache_dir is not None,
+                  self._arena),
             name=f"serve-worker-{worker_id}", daemon=True)
         proc.start()
+        # Close the parent's copy of the send end *before* any later
+        # fork: the worker now holds the only write end, so its death
+        # — even SIGKILL mid-send — surfaces as EOF on recv_conn, and
+        # no sibling inherits a write end that would mask it.
+        send_conn.close()
         self._procs[worker_id] = proc
         self._task_qs[worker_id] = task_q
+        self._result_conns.append(recv_conn)
+        if self._wake_w is not None:
+            try:
+                # Re-arm the collector: its current wait() predates
+                # recv_conn and would not watch it until timeout.
+                self._wake_w.send_bytes(b"r")
+            except (OSError, ValueError):
+                pass
         self._inflight.setdefault(worker_id, {})
 
     def stop(self) -> None:
-        """Stop the pool; outstanding requests resolve as errors."""
+        """Stop the pool; outstanding requests resolve as errors.
+
+        The arena is destroyed unconditionally (``finally``), so no
+        ``/dev/shm`` segment survives the service — even when workers
+        were SIGKILL'd or a join above raised.
+        """
         if not self._started:
             return
-        self._stopping.set()
-        if self._dispatcher is not None:
-            self._dispatcher.join(timeout=5.0)
-        for worker_id, task_q in list(self._task_qs.items()):
-            try:
-                task_q.put(None)
-            except (OSError, ValueError):
-                pass
-        for worker_id, proc in list(self._procs.items()):
-            proc.join(timeout=2.0)
-            if proc.is_alive():
-                proc.terminate()
+        try:
+            self._stopping.set()
+            if self._dispatcher is not None:
+                self._dispatcher.join(timeout=5.0)
+            for worker_id, task_q in list(self._task_qs.items()):
+                try:
+                    task_q.put(None)
+                except (OSError, ValueError):
+                    pass
+            for worker_id, proc in list(self._procs.items()):
                 proc.join(timeout=2.0)
-        if self._result_q is not None:
-            self._result_q.put(None)
-        if self._collector is not None:
-            self._collector.join(timeout=5.0)
-        for task_q in self._task_qs.values():
-            task_q.close()
-            task_q.cancel_join_thread()
-        if self._result_q is not None:
-            self._result_q.close()
-            self._result_q.cancel_join_thread()
-        self._task_qs.clear()
-        self._procs.clear()
-        with self._lock:
-            leftovers = list(self._requests.values())
-            self._requests.clear()
-            self._pending.clear()
-            for inflight in self._inflight.values():
-                inflight.clear()
-        for request in leftovers:
-            self._resolve(request, status="error",
-                          detail="service stopped", code=500)
-        self._started = False
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            if self._wake_w is not None:
+                try:
+                    self._wake_w.send_bytes(b"q")
+                except (OSError, ValueError):
+                    pass
+            if self._collector is not None:
+                self._collector.join(timeout=5.0)
+            for task_q in self._task_qs.values():
+                task_q.close()
+                task_q.cancel_join_thread()
+            for conn in self._result_conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._result_conns.clear()
+            for conn in (self._wake_r, self._wake_w):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            self._wake_r = self._wake_w = None
+            self._task_qs.clear()
+            self._procs.clear()
+            with self._lock:
+                leftovers = list(self._requests.values())
+                self._requests.clear()
+                self._pending.clear()
+                for inflight in self._inflight.values():
+                    inflight.clear()
+            for request in leftovers:
+                self._resolve(request, status="error",
+                              detail="service stopped", code=500)
+        finally:
+            if self._arena is not None:
+                self._arena.destroy()
+                self._arena = None
+            self._started = False
 
     def __enter__(self) -> "DetectionService":
         return self.start()
@@ -393,10 +568,13 @@ class DetectionService:
         key = next(self._keys)
         request_id = request_id if request_id is not None else f"r{key}"
         future: Future = Future()
+        # One clock read for both stamps: the deadline is defined
+        # relative to submitted_at, not to a second, slightly later now.
+        now = time.monotonic()
         request = _Request(
             key=key, tenant=tenant, request_id=request_id, audio=audio,
-            future=future, submitted_at=time.monotonic(),
-            deadline=(time.monotonic() + self.request_timeout_seconds
+            future=future, submitted_at=now,
+            deadline=(now + self.request_timeout_seconds
                       if self.request_timeout_seconds is not None
                       else None))
         with self._lock:
@@ -484,6 +662,7 @@ class DetectionService:
                         request.retried = True
                         request.worker_id = -1
                         self.stats.retries += 1
+                        self.stats.requests_retried += 1
                         self._pending.appendleft(request)
             # 3. Hung workers: any in-flight deadline expired means the
             #    worker is stuck past a deadline — kill it, time out the
@@ -513,6 +692,7 @@ class DetectionService:
                         request.retried = True
                         request.worker_id = -1
                         self.stats.retries += 1
+                        self.stats.requests_retried += 1
                         self._pending.appendleft(request)
             # 4. Assign pending requests to the least-loaded workers.
             #    A retried request is dispatched *solo* to an idle
@@ -534,8 +714,9 @@ class DetectionService:
                 request.dispatched_at = now
                 request.worker_id = worker_id
                 self._inflight[worker_id][request.key] = request
+                payload = self._dispatch_payload(request)
                 self._task_qs[worker_id].put(
-                    (request.key, request.tenant, request.audio))
+                    (request.key, request.tenant, payload))
         for request in expired:
             self._resolve(request, status="timeout", code=504,
                           detail="deadline expired in queue")
@@ -546,25 +727,101 @@ class DetectionService:
             self._resolve(request, status="error", code=500,
                           detail="worker died twice processing this request")
 
+    def _dispatch_payload(self, request: _Request):
+        """Build the task payload for one dispatch (caller holds the lock).
+
+        Under the shm transport the samples are written into the arena
+        once — a crash retry reuses the existing descriptor verbatim
+        (the parent wrote the bytes; workers never mutate them), so the
+        retry costs zero extra copies.  When the arena is absent or
+        full, this dispatch falls back to shipping the waveform by
+        value; ``ipc_bytes_out`` accounts whichever payload was sent.
+        """
+        if self._arena is not None:
+            clip = request.shm_clip
+            if clip is None:
+                clip = share_waveform(self._arena, request.audio)
+            if clip is not None:
+                request.shm_clip = clip
+                self.stats.ipc_bytes_out += DESCRIPTOR_NBYTES
+                return clip
+        self.stats.ipc_bytes_out += int(request.audio.samples.nbytes)
+        return request.audio
+
+    @staticmethod
+    def _result_nbytes(payload: dict) -> int:
+        """Approximate wire size of one result payload (fixed overhead
+        plus the variable-length fields)."""
+        nbytes = 96
+        scores = payload.get("scores")
+        if scores is not None:
+            nbytes += 8 * len(scores)
+        for field in ("target_transcription", "error"):
+            value = payload.get(field)
+            if isinstance(value, str):
+                nbytes += len(value)
+        return nbytes
+
     def _collect_loop(self) -> None:
-        while True:
-            item = self._result_q.get()
-            if item is None:
+        """Drain every worker's result pipe until stop() signals.
+
+        ``wait()`` watches all current pipes plus the wake pipe, which
+        ``_spawn`` pings when a respawn adds a pipe mid-wait and
+        ``stop()`` pings to shut the loop down.  A dead worker's pipe
+        reads EOF once drained (the worker held the only write end)
+        and is retired here — its in-flight requests are the
+        dispatcher's business, not ours.
+        """
+        while not self._stopping.is_set():
+            conns = list(self._result_conns)
+            try:
+                ready = multiprocessing.connection.wait(
+                    conns + [self._wake_r], timeout=1.0)
+            except OSError:
                 return
-            worker_id, key, payload = item
-            with self._lock:
-                request = self._requests.pop(key, None)
-                for inflight in self._inflight.values():
-                    inflight.pop(key, None)
-            if request is None:
-                continue  # already timed out / stopped: drop the late answer
-            if payload.get("ok"):
-                self._resolve(request, status="ok", code=200,
-                              payload=payload, worker_id=worker_id)
-            else:
-                self._resolve(request, status="error", code=500,
-                              detail=payload.get("error", "worker error"),
-                              worker_id=worker_id)
+            for conn in ready:
+                if conn is self._wake_r:
+                    try:
+                        conn.recv_bytes()
+                    except (EOFError, OSError):
+                        return
+                    continue
+                try:
+                    item = conn.recv()
+                except (EOFError, OSError):
+                    try:
+                        self._result_conns.remove(conn)
+                    except ValueError:
+                        pass
+                    conn.close()
+                    continue
+                self._handle_result(*item)
+
+    def _handle_result(self, worker_id: int, key: int, payload: dict) -> None:
+        with self._lock:
+            self.stats.ipc_bytes_in += self._result_nbytes(payload)
+            request = self._requests.pop(key, None)
+            for inflight in self._inflight.values():
+                inflight.pop(key, None)
+        if request is None:
+            return  # already timed out / stopped: drop the late answer
+        if (request.deadline is not None
+                and time.monotonic() >= request.deadline):
+            # The answer arrived after the deadline but before the
+            # dispatcher's next expiry sweep.  The deadline governs:
+            # the caller was promised a resolution by then and may
+            # already have given up — a late verdict is a timeout,
+            # not a success that depends on which thread won a race.
+            self._resolve(request, status="timeout", code=504,
+                          detail="deadline expired in worker",
+                          worker_id=worker_id)
+        elif payload.get("ok"):
+            self._resolve(request, status="ok", code=200,
+                          payload=payload, worker_id=worker_id)
+        else:
+            self._resolve(request, status="error", code=500,
+                          detail=payload.get("error", "worker error"),
+                          worker_id=worker_id)
 
     # ------------------------------------------------------------ resolution
     def _resolve(self, request: _Request, *, status: str, code: int,
@@ -572,6 +829,14 @@ class DetectionService:
                  worker_id: int = -1) -> None:
         now = time.monotonic()
         payload = payload or {}
+        # Resolution is the single reclamation point of the request's
+        # arena slot — ok, timeout, crash-retry exhaustion and stop()
+        # all funnel through here, so dead-worker slots are reclaimed
+        # exactly once and never leak.
+        if request.shm_clip is not None:
+            if self._arena is not None:
+                self._arena.free(request.shm_clip.ref)
+            request.shm_clip = None
         result = ServeResult(
             status=status, code=code, tenant=request.tenant,
             request_id=request.request_id,
@@ -638,7 +903,8 @@ class DetectionService:
                    queue_depth=serving.queue_depth,
                    request_timeout_seconds=serving.request_timeout_seconds,
                    max_batch_size=serving.max_batch_size,
-                   cache_dir=manifest.get("cache_dir"))
+                   cache_dir=manifest.get("cache_dir"),
+                   transport=serving.transport)
 
 
 def load_manifest(manifest: Mapping | str | None) -> dict:

@@ -54,6 +54,9 @@ DEFENSE_MODES: tuple[str, ...] = ("multi-asr", "transform", "combined")
 #: Where :meth:`TrainingSpec` may draw its training data from.
 TRAINING_SOURCES: tuple[str, ...] = ("auto", "scored", "bundle")
 
+#: Audio transports :class:`ServingSpec` can route dispatches through.
+SERVE_TRANSPORTS: tuple[str, ...] = ("shm", "pickle")
+
 #: Dataset scale presets, derived from :mod:`repro.config`'s registry.
 SCALE_NAMES: tuple[str, ...] = scale_names()
 
@@ -467,6 +470,13 @@ class ServingSpec:
     workers: int = 2
     queue_depth: int = 64
     request_timeout_seconds: float | None = 30.0
+    #: Audio data plane between the dispatcher and the worker pool:
+    #: ``"shm"`` (default) writes samples once into a shared-memory
+    #: arena and ships only descriptors through the task queues —
+    #: falling back to ``"pickle"`` per dispatch when the arena is full
+    #: and wholesale when shared memory is unavailable; ``"pickle"``
+    #: ships the full sample arrays through the queues.
+    transport: str = "shm"
 
     def to_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -486,7 +496,8 @@ class ServingSpec:
                 ("max_latency_seconds", float, False),
                 ("workers", int, False),
                 ("queue_depth", int, False),
-                ("request_timeout_seconds", float, True)):
+                ("request_timeout_seconds", float, True),
+                ("transport", str, False)):
             if name in data:
                 kwargs[name] = _coerce(data[name], kind, f"{path}.{name}",
                                        none_ok=none_ok)
@@ -522,6 +533,10 @@ class ServingSpec:
                 and self.request_timeout_seconds <= 0):
             out.append(f"{path}.request_timeout_seconds: must be > 0 or "
                        f"null, got {self.request_timeout_seconds}")
+        if self.transport not in SERVE_TRANSPORTS:
+            out.append(f"{path}.transport: unknown transport "
+                       f"{self.transport!r}; available: "
+                       f"{list(SERVE_TRANSPORTS)}")
         return out
 
 
@@ -591,6 +606,7 @@ ENV_OVERLAYS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "REPRO_SERVE_WORKERS": ("serving.workers", int),
     "REPRO_SERVE_QUEUE": ("serving.queue_depth", int),
     "REPRO_SERVE_TIMEOUT": ("serving.request_timeout_seconds", float),
+    "REPRO_SERVE_TRANSPORT": ("serving.transport", str),
 }
 
 

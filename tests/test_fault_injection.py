@@ -14,9 +14,25 @@ import pytest
 
 from repro.core.detector import MVPEarsDetector
 from repro.pipeline.detection import DetectionPipeline
+from repro.serving.arena import list_arena_segments
 from repro.serving.service import DetectionService
 
 from serving_fakes import FaultyASR, FaultyPipeline, make_clip
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_arena_segments():
+    """Every fault path must leave /dev/shm clean after stop().
+
+    Crashed workers, hung workers, poisoned batches — whatever a test
+    injected, the service's arena segment must be unlinked once the
+    service stops.  (Asserted on entry too, so a leak is pinned on the
+    test that caused it, not the next one.)
+    """
+    assert list_arena_segments() == []
+    yield
+    assert list_arena_segments() == [], \
+        f"test leaked /dev/shm segments: {list_arena_segments()}"
 
 
 def _service(**kwargs):

@@ -260,6 +260,45 @@ def test_pooled_verdicts_bitwise_match_sequential(detector, clips):
         assert got.target_transcription == expected.target_transcription
 
 
+@pytest.mark.timeout(180)
+def test_transports_bitwise_match_each_other_and_sequential(detector, clips):
+    from repro.serving.arena import DESCRIPTOR_NBYTES
+
+    pipeline = DetectionPipeline(detector)
+    workload = [clips[i % len(clips)] for i in range(9)]
+    baseline = [pipeline.detect(clip) for clip in workload]
+    served = {}
+    for transport in ("shm", "pickle"):
+        with DetectionService({"d": pipeline}, workers=2, queue_depth=64,
+                              request_timeout_seconds=90.0,
+                              transport=transport) as service:
+            assert service.active_transport == transport
+            futures = [service.submit("d", clip) for clip in workload]
+            served[transport] = [f.result(timeout=90) for f in futures]
+            stats = service.stats.snapshot()
+        if transport == "shm":
+            assert stats.ipc_bytes_out == DESCRIPTOR_NBYTES * len(workload)
+        else:
+            assert stats.ipc_bytes_out == sum(
+                clip.samples.nbytes for clip in workload)
+    for transport, results in served.items():
+        assert all(r.ok for r in results), \
+            [r.detail for r in results if not r.ok]
+        for got, expected in zip(results, baseline):
+            assert got.is_adversarial == bool(expected.is_adversarial), transport
+            assert got.scores == tuple(float(s) for s in expected.scores)
+            assert got.target_transcription == expected.target_transcription
+
+
+@pytest.mark.timeout(60)
+def test_transport_validation_and_inline_fallback():
+    with pytest.raises(ValueError):
+        DetectionService({"t": FaultyPipeline()}, transport="carrier-pigeon")
+    inline = DetectionService({"t": FaultyPipeline()}, workers=0)
+    assert inline.active_transport == "pickle", \
+        "workers=0 runs in-process; there is nothing to ship over shm"
+
+
 @pytest.mark.timeout(120)
 def test_warmed_thread_pool_survives_the_fork(ds0, asr_suite, rng, clips):
     # A detector with live transcription threads: detecting in the

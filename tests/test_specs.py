@@ -359,6 +359,20 @@ def test_build_batcher_uses_serving_section(tiny_detector_spec):
         assert batcher.max_latency_seconds == 0.5
 
 
+def test_serving_transport_field_validates_and_overlays():
+    from repro.specs import SERVE_TRANSPORTS, DetectorSpec, ServingSpec
+
+    assert ServingSpec().transport == "shm"
+    assert ServingSpec.from_dict({"transport": "pickle"}).problems() == []
+    assert ServingSpec.from_dict({"transport": "smoke-signal"}).problems()
+    round_trip = ServingSpec.from_dict(ServingSpec(transport="pickle").to_dict())
+    assert round_trip.transport == "pickle"
+    overlaid = DetectorSpec().with_env_overlay(
+        {"REPRO_SERVE_TRANSPORT": "pickle"})
+    assert overlaid.serving.transport == "pickle"
+    assert set(SERVE_TRANSPORTS) == {"shm", "pickle"}
+
+
 def test_build_pipeline_and_detect(tiny_detector_spec, synthesizer):
     pipeline = build_pipeline(tiny_detector_spec)
     batch = pipeline.detect_batch(
