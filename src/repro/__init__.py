@@ -28,7 +28,7 @@ from repro.attacks.whitebox import WhiteBoxCarliniAttack
 from repro.audio.waveform import Waveform
 from repro.core.bootstrap import default_detector
 from repro.core.detector import DetectionResult, MVPEarsDetector
-from repro.errors import UnknownComponentError
+from repro.errors import BackendUnavailableError, UnknownComponentError
 from repro.defenses.ensemble import TransformedASR, TransformEnsembleDetector
 from repro.defenses.transforms import Transform, default_transform_suite, parse_transforms
 from repro.dsp.engine import (
@@ -98,6 +98,7 @@ __all__ = [
     "SuiteSpec",
     "TrainingSpec",
     "TransformSpec",
+    "BackendUnavailableError",
     "UnknownComponentError",
     "BlackBoxGeneticAttack",
     "WhiteBoxCarliniAttack",
@@ -143,4 +144,18 @@ __all__ = [
     "SIMILARITY_METHODS",
     "SimilarityScorer",
     "get_scorer",
+    "register_backend",
+    "backend_names",
+    "backend_status",
+    "simulated_family",
 ]
+
+# Imported last (it builds on the registries above) for its side
+# effect: registering the shipped optional backends, so every entry
+# point that imports repro sees them.
+from repro.backends import (  # noqa: E402
+    backend_names,
+    backend_status,
+    register_backend,
+    simulated_family,
+)

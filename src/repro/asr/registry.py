@@ -146,13 +146,34 @@ def default_suite_names() -> tuple[str, ...]:
 
 
 def _dynamic_factory(short_name: str) -> Callable[[], ASRSystem] | None:
-    """Factory for the parameterised name families (``KAL-fs<N>``)."""
-    if isinstance(short_name, str) and short_name.startswith("KAL-fs"):
+    """Factory for the parameterised name families.
+
+    Two families resolve dynamically: ``KAL-fs<N>`` (Kaldi with frame
+    subsampling factor ``N``) and ``sim-<NN>`` (member ``NN`` of the
+    generated simulated family, see :mod:`repro.backends.family`).
+    """
+    if not isinstance(short_name, str):
+        return None
+    if short_name.startswith("KAL-fs"):
         suffix = short_name.removeprefix("KAL-fs")
         if suffix.isdigit():
             factor = int(suffix)
             return lambda: Kaldi(frame_subsampling_factor=factor,
                                  **shared_asr_kwargs())
+    if short_name.startswith("sim-"):
+        suffix = short_name.removeprefix("sim-")
+        if suffix.isdigit():
+            index = int(suffix)
+
+            def build_member() -> ASRSystem:
+                # Imported lazily: repro.backends imports this module.
+                from repro.backends.family import (
+                    build_family_member,
+                    family_member_config,
+                )
+                return build_family_member(family_member_config(index))
+
+            return build_member
     return None
 
 

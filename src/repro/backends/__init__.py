@@ -1,0 +1,97 @@
+"""Optional ASR backends: real-model adapters and generated families.
+
+Importing this package registers the shipped backends
+(``wav2vec2-torch``, ``wav2vec2-onnx``, ``vosk``) into the open ASR
+registry behind availability guards — the names always resolve, and
+building one without its optional dependencies raises a
+:class:`~repro.errors.BackendUnavailableError` carrying the install
+hint.  The generated simulated family (``sim-00``, ``sim-01``, ...)
+resolves through the same registry without registration (a dynamic name
+family, like ``KAL-fs<N>``).
+
+``repro/__init__.py`` imports this package, so the backends are
+registered whenever the library is.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import (
+    DEFAULT_INSTALL_HINT,
+    BackendAdapter,
+    ctc_greedy_decode,
+    float_to_int16_bytes,
+    module_missing,
+    resample,
+)
+from repro.backends.family import (
+    FAMILY_SEED,
+    FamilyMemberConfig,
+    build_family_member,
+    family_fingerprint,
+    family_member_config,
+    family_suite_names,
+    is_family_name,
+    simulated_family,
+)
+from repro.backends.registry import (
+    BackendEntry,
+    asr_fingerprint,
+    backend_entry,
+    backend_names,
+    backend_status,
+    describe_suite,
+    register_backend,
+    suite_warnings,
+    unregister_backend,
+)
+from repro.backends.vosk import VoskBackend
+from repro.backends.wav2vec2 import (
+    DEFAULT_CTC_VOCAB,
+    OnnxWav2Vec2Backend,
+    TorchWav2Vec2Backend,
+)
+
+__all__ = [
+    "BackendAdapter",
+    "BackendEntry",
+    "DEFAULT_CTC_VOCAB",
+    "DEFAULT_INSTALL_HINT",
+    "FAMILY_SEED",
+    "FamilyMemberConfig",
+    "OnnxWav2Vec2Backend",
+    "TorchWav2Vec2Backend",
+    "VoskBackend",
+    "asr_fingerprint",
+    "backend_entry",
+    "backend_names",
+    "backend_status",
+    "build_family_member",
+    "ctc_greedy_decode",
+    "describe_suite",
+    "family_fingerprint",
+    "family_member_config",
+    "family_suite_names",
+    "float_to_int16_bytes",
+    "is_family_name",
+    "module_missing",
+    "register_backend",
+    "resample",
+    "simulated_family",
+    "suite_warnings",
+    "unregister_backend",
+]
+
+# The shipped adapters.  Loaders are the adapter classes themselves, so
+# the registry can reuse their fingerprint()/availability probes.
+register_backend(
+    "wav2vec2-torch", TorchWav2Vec2Backend,
+    requires=TorchWav2Vec2Backend.requires,
+    description="torchscript wav2vec2-style CTC model (torch.jit.load)")
+register_backend(
+    "wav2vec2-onnx", OnnxWav2Vec2Backend,
+    requires=OnnxWav2Vec2Backend.requires,
+    description="ONNX wav2vec2-style CTC model (onnxruntime, CPU)")
+register_backend(
+    "vosk", VoskBackend,
+    requires=VoskBackend.requires,
+    description="vosk/Kaldi offline recogniser binding")

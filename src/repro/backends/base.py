@@ -1,0 +1,220 @@
+"""Adapter bridge wrapping third-party speech models as ASR systems.
+
+The library's detection pipeline only ever talks to the
+:class:`~repro.asr.base.ASRSystem` interface, so any real recognizer —
+a torchscript wav2vec2 export, an ONNX CTC model, a vosk/Kaldi binding —
+can join a detection suite if something translates between the two
+worlds.  :class:`BackendAdapter` is that translation layer.  It owns the
+three concerns every adapter shares, so concrete backends implement only
+``_load`` (import the third-party module and build the model) and
+``_run`` (samples in, text out):
+
+* **Lazy imports and the availability probe.**  Optional dependencies
+  are never imported at module import time; :meth:`available` answers
+  "would this backend work here?" without importing anything heavy, and
+  :meth:`transcribe` raises
+  :class:`~repro.errors.BackendUnavailableError` with an install hint
+  when the answer is no.
+* **The waveform boundary.**  The library's
+  :class:`~repro.audio.waveform.Waveform` carries float64 samples at the
+  project sample rate; real models want float32/int16 at their own rate.
+  :meth:`prepare_samples` converts (linear resample + clip) so concrete
+  adapters receive exactly what their model expects.
+* **Cache identity.**  Transcription and feature caches key on the ASR's
+  ``name`` (see :meth:`repro.pipeline.cache.TranscriptionCache.key_for`),
+  so the adapter embeds a model-version fingerprint into ``name``.
+  Upgrading torch or swapping the model file changes the fingerprint,
+  which changes the cache key, which keeps stale transcriptions from
+  leaking across model versions.
+
+Adapters emit text-only transcriptions by default (the similarity
+scorers consume only ``Transcription.text``); phonemes are derived from
+the shared lexicon's grapheme-to-phoneme rules so downstream consumers
+that want them still get a plausible sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import importlib.util
+import sys
+
+import numpy as np
+
+from repro.asr.base import ASRSystem, Transcription
+from repro.errors import BackendUnavailableError
+from repro.text.lexicon import grapheme_to_phonemes
+from repro.text.normalize import normalize_text
+
+#: Install hint shown when a backend's optional dependencies are absent.
+DEFAULT_INSTALL_HINT = "pip install repro[backends]"
+
+
+def module_missing(module: str) -> bool:
+    """Whether ``module`` is importable right now.
+
+    Checks ``sys.modules`` first so test stubs injected there count as
+    present even when they carry no ``__spec__`` (``find_spec`` raises
+    ``ValueError`` for such modules).
+    """
+    if module in sys.modules:
+        return sys.modules[module] is None
+    try:
+        return importlib.util.find_spec(module) is None
+    except (ImportError, ValueError):
+        return True
+
+
+def resample(samples: np.ndarray, sample_rate: int,
+             target_rate: int) -> np.ndarray:
+    """Linear-interpolation resample of a mono float waveform.
+
+    Quality-wise this is a stopgap (no anti-alias filter), but the
+    adapters use it only to bridge rate mismatches at the model
+    boundary, where the alternative is a hard error.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if sample_rate == target_rate or samples.size == 0:
+        return samples
+    duration = samples.size / float(sample_rate)
+    n_target = max(1, int(round(duration * target_rate)))
+    source_t = np.arange(samples.size) / float(sample_rate)
+    target_t = np.arange(n_target) / float(target_rate)
+    return np.interp(target_t, source_t, samples)
+
+
+def float_to_int16_bytes(samples: np.ndarray) -> bytes:
+    """Convert float samples in [-1, 1] to little-endian int16 PCM bytes."""
+    clipped = np.clip(np.asarray(samples, dtype=np.float64), -1.0, 1.0)
+    return (clipped * 32767.0).astype("<i2").tobytes()
+
+
+def ctc_greedy_decode(logits: np.ndarray, vocab: tuple[str, ...],
+                      blank: int = 0, word_delimiter: str = "|") -> str:
+    """Greedy CTC decode of a ``(frames, vocab)`` logit matrix.
+
+    Standard collapse rule: argmax per frame, merge repeats, drop the
+    blank, then map indices through ``vocab``.  Tokens spelled like
+    ``<pad>``/``<unk>`` are treated as non-emitting; ``word_delimiter``
+    becomes a space.  Returns normalised lower-case text.
+    """
+    logits = np.asarray(logits)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (frames, vocab) logits, got shape "
+                         f"{logits.shape}")
+    indices = np.argmax(logits, axis=-1)
+    chars: list[str] = []
+    previous = -1
+    for index in indices:
+        index = int(index)
+        if index != previous and index != blank:
+            token = vocab[index] if index < len(vocab) else ""
+            if token == word_delimiter:
+                chars.append(" ")
+            elif not (token.startswith("<") and token.endswith(">")):
+                chars.append(token)
+        previous = index
+    return normalize_text("".join(chars))
+
+
+class BackendAdapter(ASRSystem):
+    """Base class bridging a third-party speech model into the suite.
+
+    Subclasses set :attr:`backend_name` and :attr:`requires`, then
+    implement :meth:`_load` (import the dependency, construct the model)
+    and :meth:`_run` (model + prepared samples -> raw text).  Everything
+    else — availability probing, install-hint errors, sample-rate/dtype
+    conversion, fingerprinted cache identity — is inherited.
+    """
+
+    #: Registry name of the backend, e.g. ``"wav2vec2-torch"``.
+    backend_name: str = "backend"
+    #: Importable module names the backend needs at transcribe time.
+    requires: tuple[str, ...] = ()
+    #: Command suggested when :attr:`requires` are missing.
+    install_hint: str = DEFAULT_INSTALL_HINT
+    #: Sample rate the wrapped model expects; inputs are resampled to it.
+    expected_sample_rate: int = 16_000
+
+    def __init__(self) -> None:
+        self.short_name = self.backend_name
+        # The fingerprint is part of ``name`` on purpose: the caches key
+        # on it, so a new model version gets fresh cache entries.
+        self.name = f"{self.backend_name} [{self.fingerprint()}]"
+        self._model = None
+
+    # ------------------------------------------------------------ probing
+    @classmethod
+    def missing_requirements(cls) -> tuple[str, ...]:
+        """The subset of :attr:`requires` that cannot be imported."""
+        return tuple(module for module in cls.requires
+                     if module_missing(module))
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether every optional dependency of the backend is importable."""
+        return not cls.missing_requirements()
+
+    @classmethod
+    def fingerprint(cls) -> str:
+        """Short digest of the backend's model version.
+
+        Folds the backend name, each dependency's ``__version__`` and
+        any subclass extras (model path, vocab, ...) into a 12-hex-char
+        digest.  ``"unavailable"`` when dependencies are missing, so the
+        probe itself never imports anything heavy.
+        """
+        if not cls.available():
+            return "unavailable"
+        digest = hashlib.sha1(cls.backend_name.encode("utf-8"))
+        for module in cls.requires:
+            version = getattr(importlib.import_module(module),
+                              "__version__", "unknown")
+            digest.update(f"|{module}={version}".encode("utf-8"))
+        for extra in cls._fingerprint_extra():
+            digest.update(f"|{extra}".encode("utf-8"))
+        return digest.hexdigest()[:12]
+
+    @classmethod
+    def _fingerprint_extra(cls) -> tuple[str, ...]:
+        """Subclass hook: extra strings folded into the fingerprint."""
+        return ()
+
+    # ------------------------------------------------------------ loading
+    def _load(self):
+        """Import the optional dependency and build the model object."""
+        raise NotImplementedError
+
+    def _run(self, model, samples: np.ndarray) -> str:
+        """Run ``model`` on prepared samples; return the raw text."""
+        raise NotImplementedError
+
+    def _ensure_loaded(self):
+        missing = self.missing_requirements()
+        if missing:
+            raise BackendUnavailableError("ASR system", self.short_name,
+                                          missing, self.install_hint)
+        if self._model is None:
+            self._model = self._load()
+        return self._model
+
+    # ------------------------------------------------------------ boundary
+    def prepare_samples(self, samples: np.ndarray,
+                        sample_rate: int) -> np.ndarray:
+        """Convert library samples to what the wrapped model expects."""
+        prepared = resample(samples, sample_rate, self.expected_sample_rate)
+        return np.clip(prepared, -1.0, 1.0)
+
+    def _transcribe_samples(self, samples: np.ndarray,
+                            sample_rate: int) -> Transcription:
+        model = self._ensure_loaded()
+        prepared = self.prepare_samples(samples, sample_rate)
+        text = normalize_text(self._run(model, prepared))
+        phonemes: tuple = ()
+        for word in text.split():
+            phonemes = phonemes + grapheme_to_phonemes(word)
+        return Transcription(
+            text=text, phonemes=phonemes, asr_name=self.name,
+            extra={"backend": self.backend_name,
+                   "fingerprint": self.fingerprint()})

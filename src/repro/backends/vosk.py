@@ -1,0 +1,51 @@
+"""Vosk (Kaldi-based) offline recogniser binding.
+
+Vosk wants 16-bit little-endian PCM chunks and returns JSON results, so
+this adapter exercises the full dtype boundary: the library's float64
+waveform is resampled, clipped and converted to int16 bytes before
+feeding the recogniser.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.backends.base import BackendAdapter, float_to_int16_bytes
+
+
+class VoskBackend(BackendAdapter):
+    """Offline vosk model (``pip install vosk`` + a downloaded model dir).
+
+    The model directory comes from the constructor or the
+    ``REPRO_VOSK_MODEL`` environment variable; with neither set, vosk's
+    own model auto-download path is used (``Model(lang="en-us")``).
+    """
+
+    backend_name = "vosk"
+    requires = ("vosk",)
+
+    MODEL_ENV = "REPRO_VOSK_MODEL"
+
+    def __init__(self, model_path: str | None = None):
+        self.model_path = model_path or os.environ.get(self.MODEL_ENV)
+        super().__init__()
+
+    @classmethod
+    def _fingerprint_extra(cls) -> tuple[str, ...]:
+        return (f"model={os.environ.get(cls.MODEL_ENV, '')}",)
+
+    def _load(self):
+        import vosk
+        if self.model_path:
+            return vosk.Model(self.model_path)
+        return vosk.Model(lang="en-us")
+
+    def _run(self, model, samples: np.ndarray) -> str:
+        import vosk
+        recognizer = vosk.KaldiRecognizer(model, self.expected_sample_rate)
+        recognizer.AcceptWaveform(float_to_int16_bytes(samples))
+        result = json.loads(recognizer.FinalResult())
+        return result.get("text", "")

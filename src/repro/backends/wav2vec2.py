@@ -1,0 +1,116 @@
+"""wav2vec2-style CTC adapters (torchscript and ONNX exports).
+
+Both adapters run an acoustic model that maps a 16 kHz float waveform to
+per-frame character logits and decode them with the pure-numpy greedy
+CTC decoder from :mod:`repro.backends.base` — no third-party decoder is
+needed, only the inference runtime.  The model file is supplied via a
+constructor argument or an environment variable, so the same registered
+name serves any wav2vec2-style export.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.backends.base import BackendAdapter, ctc_greedy_decode
+
+#: The standard wav2vec2 character vocabulary (32 CTC tokens, blank at
+#: index 0, ``|`` as the word delimiter) used by the stock English
+#: checkpoints.  Exports with a custom vocab pass their own.
+DEFAULT_CTC_VOCAB: tuple[str, ...] = (
+    "<pad>", "<s>", "</s>", "<unk>", "|",
+    "E", "T", "A", "O", "N", "I", "H", "S", "R", "D", "L", "U", "M",
+    "W", "C", "F", "G", "Y", "P", "B", "V", "K", "'", "X", "J", "Q", "Z",
+)
+
+
+def _as_numpy(logits) -> np.ndarray:
+    """Accept framework tensors or plain arrays from the model call."""
+    if callable(getattr(logits, "detach", None)):
+        logits = logits.detach().cpu().numpy()
+    return np.asarray(logits)
+
+
+class TorchWav2Vec2Backend(BackendAdapter):
+    """Torchscript wav2vec2 CTC model loaded with ``torch.jit.load``.
+
+    The model path comes from the constructor or the
+    ``REPRO_WAV2VEC2_TORCH_MODEL`` environment variable; the callable
+    must accept a ``(1, samples)`` float32 tensor and return
+    ``(1, frames, vocab)`` logits (the shape of the stock exports).
+    """
+
+    backend_name = "wav2vec2-torch"
+    requires = ("torch",)
+
+    MODEL_ENV = "REPRO_WAV2VEC2_TORCH_MODEL"
+
+    def __init__(self, model_path: str | None = None,
+                 vocab: tuple[str, ...] = DEFAULT_CTC_VOCAB):
+        self.model_path = model_path or os.environ.get(self.MODEL_ENV)
+        self.vocab = tuple(vocab)
+        super().__init__()
+
+    @classmethod
+    def _fingerprint_extra(cls) -> tuple[str, ...]:
+        return (f"model={os.environ.get(cls.MODEL_ENV, '')}",)
+
+    def _load(self):
+        import torch
+        if not self.model_path:
+            raise ValueError(
+                f"no model file configured for {self.backend_name}; pass "
+                f"model_path= or set {self.MODEL_ENV}")
+        return torch.jit.load(self.model_path)
+
+    def _run(self, model, samples: np.ndarray) -> str:
+        import torch
+        batch = torch.from_numpy(
+            np.ascontiguousarray(samples, dtype=np.float32)[None, :])
+        with torch.no_grad():
+            logits = model(batch)
+        logits = _as_numpy(logits)
+        return ctc_greedy_decode(logits[0], self.vocab)
+
+
+class OnnxWav2Vec2Backend(BackendAdapter):
+    """ONNX wav2vec2 CTC model run through ``onnxruntime`` on CPU.
+
+    The model path comes from the constructor or the
+    ``REPRO_WAV2VEC2_ONNX_MODEL`` environment variable; the graph's
+    first input takes the ``(1, samples)`` float32 waveform and its
+    first output is the ``(1, frames, vocab)`` logit tensor.
+    """
+
+    backend_name = "wav2vec2-onnx"
+    requires = ("onnxruntime",)
+
+    MODEL_ENV = "REPRO_WAV2VEC2_ONNX_MODEL"
+
+    def __init__(self, model_path: str | None = None,
+                 vocab: tuple[str, ...] = DEFAULT_CTC_VOCAB):
+        self.model_path = model_path or os.environ.get(self.MODEL_ENV)
+        self.vocab = tuple(vocab)
+        super().__init__()
+
+    @classmethod
+    def _fingerprint_extra(cls) -> tuple[str, ...]:
+        return (f"model={os.environ.get(cls.MODEL_ENV, '')}",)
+
+    def _load(self):
+        import onnxruntime
+        if not self.model_path:
+            raise ValueError(
+                f"no model file configured for {self.backend_name}; pass "
+                f"model_path= or set {self.MODEL_ENV}")
+        return onnxruntime.InferenceSession(
+            self.model_path, providers=["CPUExecutionProvider"])
+
+    def _run(self, session, samples: np.ndarray) -> str:
+        batch = np.ascontiguousarray(samples, dtype=np.float32)[None, :]
+        input_name = session.get_inputs()[0].name
+        outputs = session.run(None, {input_name: batch})
+        logits = _as_numpy(outputs[0])
+        return ctc_greedy_decode(logits[0], self.vocab)

@@ -351,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
                                     "lists (see docs/EXPERIMENTS.md)")
     add_experiment_options(sweep)
 
+    backends = commands.add_parser(
+        "backends", help="list optional ASR backends: name, availability, "
+                         "model fingerprint, install hint")
+    backends.add_argument("--json", action="store_true",
+                          help="print the listing as JSON")
+
     config = commands.add_parser(
         "config", help="show the effective detector spec / validate config files")
     config_actions = config.add_subparsers(dest="config_command",
@@ -1154,7 +1160,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 # ------------------------------------------------------------------- config
-def _validate_config_file(path: str) -> None:
+def _validate_config_file(path: str) -> list[str]:
     """Schema-check one config file by its top-level shape.
 
     A JSON object with a ``"tenants"`` key is a serve manifest (see
@@ -1163,9 +1169,16 @@ def _validate_config_file(path: str) -> None:
     with an ``"experiment"`` key is an :class:`~repro.specs.ExperimentSpec`
     (plus a ``"grid"`` key: a :class:`~repro.specs.SweepSpec` for
     ``repro sweep``).  Anything else is a plain DetectorSpec.
+
+    Returns non-failing warnings: suite members that name registered
+    optional backends whose dependencies are missing here.  The config
+    is valid (the names resolve) but *building* it in this environment
+    would fail with the install hint, which the user should learn at
+    validation time, not at run time.
     """
     import json
 
+    from repro.backends.registry import suite_warnings
     from repro.serving.service import load_manifest
     from repro.specs import (
         DetectorSpec,
@@ -1179,16 +1192,20 @@ def _validate_config_file(path: str) -> None:
         raw = json.load(handle)
     if isinstance(raw, dict) and "experiment" in raw:
         if "grid" in raw or "name" in raw:
-            SweepSpec.from_json(path).validate()
-        else:
-            ExperimentSpec.from_json(path).validate()
-        return
+            spec = SweepSpec.from_json(path)
+            spec.validate()
+            return suite_warnings(spec.base.detector.suite)
+        spec = ExperimentSpec.from_json(path)
+        spec.validate()
+        return suite_warnings(spec.detector.suite)
     if not (isinstance(raw, dict) and "tenants" in raw):
-        DetectorSpec.from_json(path).validate()
-        return
+        spec = DetectorSpec.from_json(path)
+        spec.validate()
+        return suite_warnings(spec.suite)
     manifest = load_manifest(path)
     if not manifest["tenants"]:
         raise ValueError("serve manifest declares no tenants")
+    warnings: list[str] = []
     for tenant, entry in manifest["tenants"].items():
         if entry is None:
             continue  # tenant uses the default spec
@@ -1202,17 +1219,44 @@ def _validate_config_file(path: str) -> None:
             raise InvalidSpecError(
                 [f"tenant {tenant!r}: {problem}"
                  for problem in exc.problems]) from exc
+        warnings.extend(f"tenant {tenant!r}: {warning}"
+                        for warning in suite_warnings(spec.suite))
     overlay = manifest.get("serving") or {}
     serving = ServingSpec.from_dict({**ServingSpec().to_dict(), **overlay})
     problems = serving.problems("serving")
     if problems:
         raise InvalidSpecError(problems)
+    return warnings
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.backends import backend_names, backend_status
+
+    statuses = [backend_status(name) for name in backend_names()]
+    if args.json:
+        print(json.dumps({"backends": statuses}, indent=2))
+        return 0
+    for status in statuses:
+        state = ("available" if status["available"]
+                 else "missing: " + ", ".join(status["missing"]))
+        print(f"{status['name']:<16} {state:<28} "
+              f"{status['fingerprint']:<14} {status['description']}")
+        if not status["available"]:
+            print(f"{'':<16} install with: {status['install_hint']}")
+    print()
+    print("generated family: sim-00, sim-01, ... (always available; "
+          "see docs/BACKENDS.md)")
+    return 0
 
 
 def cmd_config(args: argparse.Namespace) -> int:
     from repro.specs import DetectorSpec, InvalidSpecError
 
     if args.config_command == "show":
+        from repro.backends.registry import suite_warnings
+
         spec = _detector_spec(args)
         try:
             # The output is advertised as ready to save; a flag typo must
@@ -1221,17 +1265,22 @@ def cmd_config(args: argparse.Namespace) -> int:
         except InvalidSpecError as exc:
             raise CliError(str(exc)) from exc
         print(spec.to_json(), end="")
+        # Warnings go to stderr: stdout stays a clean, saveable config.
+        for warning in suite_warnings(spec.suite):
+            print(f"{PROG}: warning: {warning}", file=sys.stderr)
         return 0
     if args.config_command == "validate":
         failures = 0
         for path in args.path:
             try:
-                _validate_config_file(path)
+                warnings = _validate_config_file(path)
             except (InvalidSpecError, OSError, ValueError) as exc:
                 failures += 1
                 print(f"FAIL {path}: {exc}")
             else:
                 print(f"ok   {path}")
+                for warning in warnings:
+                    print(f"warn {path}: {warning}")
         if failures:
             raise CliError(f"{failures} invalid config file"
                            f"{'s' if failures != 1 else ''}")
@@ -1254,7 +1303,7 @@ def main(argv: list[str] | None = None) -> int:
                 "bench-pipeline": cmd_bench_pipeline,
                 "bench-serve": cmd_bench_serve,
                 "run": cmd_run, "sweep": cmd_sweep,
-                "config": cmd_config}
+                "backends": cmd_backends, "config": cmd_config}
     try:
         return handlers[args.command](args)
     except CliError as exc:

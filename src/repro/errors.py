@@ -40,3 +40,29 @@ class UnknownComponentError(ValueError, KeyError):
         # KeyError.__str__ would repr() the message (quoting it); report
         # the plain sentence instead.
         return self.args[0]
+
+
+class BackendUnavailableError(UnknownComponentError):
+    """A name resolved to a registered backend whose optional
+    dependencies are not installed.
+
+    Distinct from the generic unknown-name failure: the name *is*
+    registered (see :mod:`repro.backends.registry`), so the message says
+    which third-party modules are missing and how to install them
+    instead of listing the registry.
+
+    Attributes:
+        missing: the importable module names that could not be found.
+        install_hint: the command that makes the backend available
+            (e.g. ``pip install repro[backends]``).
+    """
+
+    def __init__(self, kind: str, name: object, missing: Iterable[str],
+                 install_hint: str):
+        super().__init__(kind, name, ())
+        self.missing = tuple(missing)
+        self.install_hint = install_hint
+        self.args = (
+            f"{kind} {name!r} is registered but unavailable: missing "
+            f"optional dependenc{'ies' if len(self.missing) != 1 else 'y'} "
+            f"{list(self.missing)}; install with: {install_hint}",)

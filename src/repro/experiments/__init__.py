@@ -55,6 +55,7 @@ from repro.experiments.overhead import run_overhead_measurement
 from repro.experiments.nontargeted import run_nontargeted_detection
 from repro.experiments.transferability import run_transferability_study
 from repro.experiments.transform_ensemble import run_transform_ensemble_comparison
+from repro.experiments.suite_scaling import run_suite_scaling
 from repro.experiments.ablations import (
     run_kaldi_auxiliary_ablation,
     run_baseline_comparison,
@@ -93,6 +94,7 @@ __all__ = [
     "run_nontargeted_detection",
     "run_transferability_study",
     "run_transform_ensemble_comparison",
+    "run_suite_scaling",
     "run_kaldi_auxiliary_ablation",
     "run_baseline_comparison",
 ]

@@ -173,6 +173,21 @@ class Experiment:
         from repro.datasets.builder import load_standard_bundle
         return load_standard_bundle(self.spec.scale, seed=self.spec.seed)
 
+    def manifest_extra(self) -> dict:
+        """Attribution record merged into the run-dir ``manifest.json``.
+
+        The default records the spec's suite composition and per-system
+        version fingerprints (see
+        :func:`repro.backends.registry.describe_suite`), so every run
+        directory states exactly which systems produced its numbers.
+        Experiments that build other suites per shard extend this.
+        """
+        from repro.backends.registry import describe_suite
+        suite = getattr(getattr(self.spec, "detector", None), "suite", None)
+        if suite is None:
+            return {}
+        return {"suite": describe_suite(suite)}
+
     def prepare(self) -> None:
         """Warm shared context in the parent before workers fork.
 
@@ -388,7 +403,12 @@ def execute_experiment(experiment, store=None, workers: int | None = None,
         raise ExperimentError(f"{experiment.name}: duplicate shard keys")
     completed: dict[str, list[dict]] = {}
     if store is not None:
-        store.begin(spec, experiment=experiment.name, total_units=len(units))
+        try:
+            extra = experiment.manifest_extra()
+        except Exception:  # attribution must never fail a run
+            extra = {}
+        store.begin(spec, experiment=experiment.name, total_units=len(units),
+                    extra=extra)
         journaled = store.completed_shards()
         completed = {key: journaled[key] for key in keys if key in journaled}
     pending = [(index, unit) for index, unit in enumerate(units)

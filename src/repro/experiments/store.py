@@ -49,6 +49,7 @@ class RunStore:
         self.directory = os.fspath(directory)
         self._journal = Journal(os.path.join(self.directory, "shards.jsonl"))
         self._completed: dict[str, list[dict]] = {}
+        self._extra: dict = {}
 
     # ------------------------------------------------------------ locations
     @property
@@ -72,13 +73,20 @@ class RunStore:
         return os.path.join(self.directory, "caches")
 
     # ------------------------------------------------------------ lifecycle
-    def begin(self, spec, experiment: str, total_units: int) -> None:
+    def begin(self, spec, experiment: str, total_units: int,
+              extra: dict | None = None) -> None:
         """Open the run directory for ``spec``, creating or resuming it.
+
+        ``extra`` is a JSON-serialisable mapping merged into every
+        manifest snapshot of the run — the attribution record (suite
+        composition, backend fingerprints) that makes result numbers
+        traceable to the exact systems that produced them.
 
         Raises :class:`RunSpecMismatch` when the directory was started
         with a different spec — shard keys are only meaningful within
         one spec, so silently mixing them would corrupt the resume.
         """
+        self._extra = dict(extra or {})
         os.makedirs(self.directory, exist_ok=True)
         spec_json = spec.to_json()
         try:
@@ -128,6 +136,7 @@ class RunStore:
             "total_units": total_units,
             "completed_units": len(self._completed),
         }
+        manifest.update(self._extra)
         atomic_write_text(self.manifest_path,
                           json.dumps(manifest, indent=2) + "\n")
 

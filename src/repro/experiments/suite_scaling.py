@@ -1,0 +1,184 @@
+"""Detection accuracy and overhead vs. suite size and composition.
+
+The paper's evaluation (Table VI) stops at four ASR versions; ROADMAP
+open item 2 asks what happens past that.  With the generated simulated
+family (:mod:`repro.backends.family`) suites of 8–16 versions are cheap,
+so this experiment sweeps the suite size and reports, per size: held-out
+detection accuracy, FPR/FNR, and the per-clip feature-extraction
+overhead — the cost axis that grows with every added version.
+
+Two compositions are studied: ``family`` (generated members only, the
+homogeneous scaling curve) and ``paper+family`` (the paper's three real
+auxiliaries first, topped up with generated members — how the published
+suite extends).  Suites are built purely as config
+(:class:`~repro.specs.SuiteSpec` over registry names), one shard per
+size through the PR 8 runner, so runs shard, journal and resume like
+every other experiment.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backends.family import family_suite_names
+from repro.build import build
+from repro.config import DEFAULT_SEED, ReproScale
+from repro.datasets.builder import load_standard_bundle
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentTable, WorkUnit
+from repro.ml.model_selection import train_test_split
+from repro.specs import ASRSpec, DetectorSpec, SuiteSpec
+
+#: Suite compositions the experiment understands, in table order.
+COMPOSITIONS = ("family", "paper+family")
+
+#: The paper's real auxiliaries, used first by ``paper+family``.
+_PAPER_AUXILIARIES = ("DS1", "GCS", "AT")
+
+#: Default suite sizes (auxiliary version counts), 2 -> 16.
+DEFAULT_SIZES = (2, 4, 8, 12, 16)
+
+
+def suite_for(composition: str, size: int,
+              target: str = "DS0") -> SuiteSpec:
+    """The :class:`SuiteSpec` of one (composition, size) grid point.
+
+    ``size`` counts auxiliary versions (the target is on top).  The
+    ``family`` composition uses generated members only; ``paper+family``
+    starts from the paper's real auxiliaries and tops up with generated
+    members.  Either way the suite is pure config: registry names that
+    :func:`repro.build` resolves like any hand-written spec.
+    """
+    if size < 1:
+        raise ValueError("suite size must be at least 1 auxiliary")
+    if composition == "family":
+        names = family_suite_names(size)
+    elif composition == "paper+family":
+        names = _PAPER_AUXILIARIES[:size]
+        names += family_suite_names(max(0, size - len(names)))
+    else:
+        raise ValueError(f"unknown composition {composition!r}; "
+                         f"expected one of {COMPOSITIONS}")
+    return SuiteSpec(target=ASRSpec(target),
+                     auxiliaries=tuple(ASRSpec(name) for name in names))
+
+
+def _size_row(detector_spec: DetectorSpec, composition: str, size: int,
+              bundle, test_fraction: float, seed: int) -> dict:
+    """Accuracy + per-clip overhead of one suite size on the shared split."""
+    from dataclasses import replace
+
+    suite = suite_for(composition, size)
+    spec = replace(detector_spec, suite=suite)
+    detector = build(spec, fit=False)
+    samples = bundle.all_samples
+    audios = [sample.waveform for sample in samples]
+    labels = np.array([sample.label for sample in samples], dtype=int)
+    start = time.perf_counter()
+    features = detector.extract_features(audios)
+    elapsed = time.perf_counter() - start
+    train_x, test_x, train_y, test_y = train_test_split(
+        features, labels, test_fraction=test_fraction, seed=seed)
+    detector.fit_features(train_x, train_y)
+    report = detector.evaluate_features(test_x, test_y)
+    return {
+        "composition": composition,
+        "suite_size": size,
+        "n_versions": detector.n_features,
+        "auxiliaries": " ".join(aux.name for aux in suite.auxiliaries),
+        "accuracy": report.accuracy,
+        "fpr": report.fpr,
+        "fnr": report.fnr,
+        "per_clip_seconds": elapsed / max(1, len(audios)),
+    }
+
+
+def run_suite_scaling(scale: ReproScale | str | None = None,
+                      sizes=DEFAULT_SIZES,
+                      composition: str = "family",
+                      classifier: str = "SVM",
+                      test_fraction: float = 0.25,
+                      seed: int = DEFAULT_SEED) -> ExperimentTable:
+    """Accuracy / FPR / FNR / per-clip overhead vs. suite size.
+
+    The classic in-process entry point; ``repro run suite_scaling`` and
+    ``repro sweep`` run the same rows sharded and resumable.
+    """
+    spec = DetectorSpec.default().with_value("classifier.name", classifier)
+    bundle = load_standard_bundle(scale, seed=seed)
+    table = ExperimentTable(
+        "Suite scaling",
+        "Detection accuracy and per-clip overhead vs. suite size")
+    for size in sizes:
+        table.rows.append(_size_row(spec, composition, int(size), bundle,
+                                    test_fraction, seed))
+    return table
+
+
+@register
+class SuiteScalingExperiment(Experiment):
+    """Suite-size scaling study sharded per size — one unit per size."""
+
+    name = "suite_scaling"
+    title = "Suite scaling"
+    description = ("Detection accuracy and per-clip overhead vs. "
+                   "suite size")
+    defaults = {"sizes": list(DEFAULT_SIZES), "composition": "family",
+                "test_fraction": 0.25}
+
+    def prepare(self) -> None:
+        self.bundle()
+
+    def _sizes(self) -> list[int]:
+        return [int(size) for size in self.param("sizes")]
+
+    def shards(self, spec) -> list[WorkUnit]:
+        composition = str(self.param("composition"))
+        return [WorkUnit(key=f"{composition}-n{size:02d}",
+                         params={"composition": composition, "size": size})
+                for size in self._sizes()]
+
+    def run_shard(self, unit: WorkUnit) -> list[dict]:
+        return [_size_row(self.spec.detector,
+                          str(unit.params["composition"]),
+                          int(unit.params["size"]), self.bundle(),
+                          float(self.param("test_fraction")),
+                          self.spec.seed)]
+
+    def manifest_extra(self) -> dict:
+        """Record every grid point's exact suite, not just the spec's."""
+        from repro.backends.registry import describe_suite
+        composition = str(self.param("composition"))
+        extra = super().manifest_extra()
+        extra["suites"] = {
+            f"{composition}-n{size:02d}":
+                describe_suite(suite_for(composition, size))
+            for size in self._sizes()}
+        return extra
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - CLI shim
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Detection accuracy and overhead vs. ASR suite size")
+    parser.add_argument("--scale", default=None,
+                        choices=("tiny", "small", "medium", "paper"))
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=list(DEFAULT_SIZES))
+    parser.add_argument("--composition", default="family",
+                        choices=COMPOSITIONS)
+    parser.add_argument("--classifier", default="SVM")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+    table = run_suite_scaling(scale=args.scale, sizes=args.sizes,
+                              composition=args.composition,
+                              classifier=args.classifier, seed=args.seed)
+    print(table.to_markdown())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -125,9 +125,15 @@ def run_pipeline_benchmark(n_clips: int = 6, repeats: int = 3,
                                       if fast_seconds > 0 else 0.0),
         }
 
+    from repro.backends.registry import asr_fingerprint
+
     stats = feature_cache.stats
     return {
         "suite": list(names),
+        # Version fingerprints make the numbers attributable to the
+        # exact systems that produced them (see docs/BACKENDS.md).
+        "suite_fingerprints": {name: asr_fingerprint(name)
+                               for name in names},
         "n_clips": n_clips,
         "repeats": repeats,
         "seed": seed,

@@ -117,11 +117,16 @@ def run_serve_benchmark(n_streams: int = 100, n_clips: int = 12,
         elif served.scores != tuple(float(s) for s in expected.scores):
             mismatches += 1
 
+    from repro.backends.registry import describe_suite
+
     report = {
         "n_streams": n_streams,
         "n_clips": n_clips,
         "workers": workers,
         "seed": seed,
+        # Which suite produced these numbers (composition + version
+        # fingerprints) — the attribution record for perf trajectories.
+        "suite": describe_suite(spec.suite),
         "transport": transport,
         "active_transport": service.active_transport,
         "clip_seconds": clip_seconds,

@@ -1,0 +1,426 @@
+"""Tests for the pluggable ASR backend subsystem (PR 10).
+
+The concrete adapters (torch / onnx wav2vec2, vosk) are contract-tested
+against fake third-party modules injected into ``sys.modules``, so the
+full adapter code paths — lazy import, availability probe, waveform
+boundary conversion, fingerprinted cache identity — run in CI with zero
+optional dependencies installed.  The generated simulated family is
+checked for determinism, prefix stability and pairwise diversity.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import types
+
+import numpy as np
+import pytest
+
+from repro.asr.registry import (
+    asr_name_resolvable,
+    build_asr,
+    unregister_asr,
+)
+from repro.audio.waveform import Waveform
+from repro.backends import (
+    BackendAdapter,
+    asr_fingerprint,
+    backend_names,
+    backend_status,
+    ctc_greedy_decode,
+    describe_suite,
+    family_fingerprint,
+    family_member_config,
+    family_suite_names,
+    float_to_int16_bytes,
+    register_backend,
+    resample,
+    simulated_family,
+    suite_warnings,
+    unregister_backend,
+)
+from repro.backends.vosk import VoskBackend
+from repro.backends.wav2vec2 import (
+    DEFAULT_CTC_VOCAB,
+    OnnxWav2Vec2Backend,
+    TorchWav2Vec2Backend,
+)
+from repro.cli import main
+from repro.errors import BackendUnavailableError, UnknownComponentError
+from repro.specs import ASRSpec, SuiteSpec
+
+
+def _logits_for(text: str) -> np.ndarray:
+    """Frame logits whose greedy CTC decode is exactly ``text``.
+
+    Each character emits twice (exercising repeat collapsing) followed
+    by a blank frame (so identical neighbouring letters survive).
+    """
+    indices: list[int] = []
+    for char in text.upper():
+        token = "|" if char == " " else char
+        indices += [DEFAULT_CTC_VOCAB.index(token)] * 2 + [0]
+    logits = np.full((len(indices), len(DEFAULT_CTC_VOCAB)), -10.0)
+    logits[np.arange(len(indices)), indices] = 10.0
+    return logits
+
+
+class _FakeTensor:
+    def __init__(self, array):
+        self.array = np.asarray(array)
+
+    def detach(self):
+        return self
+
+    def cpu(self):
+        return self
+
+    def numpy(self):
+        return self.array
+
+
+class _FakeNoGrad:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _fake_torch(logits: np.ndarray, version: str = "9.9-test",
+                calls: list | None = None) -> types.ModuleType:
+    torch = types.ModuleType("torch")
+    torch.__version__ = version
+    torch.from_numpy = _FakeTensor
+    torch.no_grad = _FakeNoGrad
+    jit = types.ModuleType("torch.jit")
+
+    def load(path):
+        def model(batch):
+            if calls is not None:
+                calls.append(batch.array)
+            return _FakeTensor(logits[None])
+        return model
+
+    jit.load = load
+    torch.jit = jit
+    return torch
+
+
+def _fake_onnxruntime(logits: np.ndarray,
+                      calls: list | None = None) -> types.ModuleType:
+    onnxruntime = types.ModuleType("onnxruntime")
+    onnxruntime.__version__ = "7.7-test"
+
+    class InferenceSession:
+        def __init__(self, path, providers=None):
+            self.path = path
+            self.providers = providers
+
+        def get_inputs(self):
+            return [types.SimpleNamespace(name="input_values")]
+
+        def run(self, outputs, feeds):
+            if calls is not None:
+                calls.append(feeds)
+            return [logits[None]]
+
+    onnxruntime.InferenceSession = InferenceSession
+    return onnxruntime
+
+
+def _fake_vosk(text: str, pcm_chunks: list) -> types.ModuleType:
+    vosk = types.ModuleType("vosk")
+    vosk.__version__ = "5.5-test"
+
+    class Model:
+        def __init__(self, path=None, lang=None):
+            self.path = path
+            self.lang = lang
+
+    class KaldiRecognizer:
+        def __init__(self, model, sample_rate):
+            self.model = model
+            self.sample_rate = sample_rate
+
+        def AcceptWaveform(self, data):
+            pcm_chunks.append(data)
+            return True
+
+        def FinalResult(self):
+            return json.dumps({"text": text})
+
+    vosk.Model = Model
+    vosk.KaldiRecognizer = KaldiRecognizer
+    return vosk
+
+
+# -------------------------------------------------------------- pure helpers
+def test_ctc_greedy_decode_collapse_blank_and_delimiter():
+    assert ctc_greedy_decode(_logits_for("open the door"),
+                             DEFAULT_CTC_VOCAB) == "open the door"
+    # Repeats collapse; the blank separates genuine doubles.
+    assert ctc_greedy_decode(_logits_for("turn off all cameras"),
+                             DEFAULT_CTC_VOCAB) == "turn off all cameras"
+    with pytest.raises(ValueError, match="frames, vocab"):
+        ctc_greedy_decode(np.zeros(5), DEFAULT_CTC_VOCAB)
+
+
+def test_resample_and_pcm_conversion():
+    samples = np.sin(np.linspace(0, 2 * np.pi, 8000))
+    doubled = resample(samples, 8000, 16000)
+    assert doubled.size == 16000
+    assert resample(samples, 16000, 16000) is samples or np.array_equal(
+        resample(samples, 16000, 16000), samples)
+    pcm = float_to_int16_bytes(np.array([0.0, 1.0, -1.0, 2.0]))
+    values = np.frombuffer(pcm, dtype="<i2")
+    assert values.tolist() == [0, 32767, -32767, 32767]
+
+
+# --------------------------------------------------------- adapter contracts
+def test_torch_adapter_transcribe_roundtrip(monkeypatch):
+    calls: list = []
+    monkeypatch.setitem(sys.modules, "torch",
+                        _fake_torch(_logits_for("open the door"),
+                                    calls=calls))
+    assert TorchWav2Vec2Backend.available()
+    adapter = TorchWav2Vec2Backend(model_path="fake.pt")
+    # 8 kHz input exercises the resample boundary.
+    audio = Waveform(np.zeros(8000), 8000)
+    result = adapter.transcribe(audio)
+    assert result.text == "open the door"
+    assert result.extra["backend"] == "wav2vec2-torch"
+    assert result.asr_name == adapter.name
+    # The model saw a float32 (1, samples) batch at the expected rate.
+    (batch,) = calls
+    assert batch.shape == (1, 16000)
+    assert batch.dtype == np.float32
+
+
+def test_torch_adapter_fingerprint_tracks_version(monkeypatch):
+    logits = _logits_for("ok")
+    monkeypatch.setitem(sys.modules, "torch", _fake_torch(logits, "1.0"))
+    first = TorchWav2Vec2Backend(model_path="fake.pt")
+    assert first.fingerprint() != "unavailable"
+    assert first.fingerprint() in first.name
+    monkeypatch.setitem(sys.modules, "torch", _fake_torch(logits, "2.0"))
+    second = TorchWav2Vec2Backend(model_path="fake.pt")
+    # A new model version is a new cache identity.
+    assert first.name != second.name
+
+
+def test_onnx_adapter_transcribe_roundtrip(monkeypatch):
+    calls: list = []
+    monkeypatch.setitem(
+        sys.modules, "onnxruntime",
+        _fake_onnxruntime(_logits_for("close the garage"), calls=calls))
+    assert OnnxWav2Vec2Backend.available()
+    adapter = OnnxWav2Vec2Backend(model_path="fake.onnx")
+    result = adapter.transcribe(Waveform(np.zeros(16000), 16000))
+    assert result.text == "close the garage"
+    (feeds,) = calls
+    assert list(feeds) == ["input_values"]
+    assert feeds["input_values"].dtype == np.float32
+
+
+def test_vosk_adapter_pcm_boundary(monkeypatch):
+    pcm_chunks: list = []
+    monkeypatch.setitem(sys.modules, "vosk",
+                        _fake_vosk("hello world", pcm_chunks))
+    adapter = VoskBackend(model_path="fake-model-dir")
+    result = adapter.transcribe(Waveform(np.full(16000, 0.5), 16000))
+    assert result.text == "hello world"
+    (chunk,) = pcm_chunks
+    values = np.frombuffer(chunk, dtype="<i2")
+    assert values.size == 16000          # int16 mono, same length
+    assert values.max() == int(0.5 * 32767)
+
+
+def test_adapter_requires_model_path(monkeypatch):
+    monkeypatch.setitem(sys.modules, "torch", _fake_torch(_logits_for("x")))
+    monkeypatch.delenv(TorchWav2Vec2Backend.MODEL_ENV, raising=False)
+    adapter = TorchWav2Vec2Backend()
+    with pytest.raises(ValueError, match="no model file configured"):
+        adapter.transcribe(Waveform(np.zeros(1600), 16000))
+
+
+# ----------------------------------------------------------- clean skipping
+def test_unavailable_backend_resolves_but_raises_hint():
+    # Zero extras are installed in CI, so the shipped backends all probe
+    # unavailable — and must still resolve everywhere.
+    for name in backend_names():
+        status = backend_status(name)
+        assert status["available"] is False
+        assert status["fingerprint"] == "unavailable"
+        assert asr_name_resolvable(name)
+        assert ASRSpec(name).problems() == []
+    suite = SuiteSpec(target=ASRSpec("DS0"),
+                      auxiliaries=(ASRSpec("DS1"), ASRSpec("vosk")))
+    assert suite.problems() == []
+    with pytest.raises(BackendUnavailableError) as excinfo:
+        build_asr("vosk")
+    message = str(excinfo.value)
+    assert "registered but unavailable" in message
+    assert "pip install repro[backends]" in message
+    assert excinfo.value.missing == ("vosk",)
+
+
+def test_suite_warnings_and_describe():
+    suite = SuiteSpec(target=ASRSpec("DS0"),
+                      auxiliaries=(ASRSpec("DS1"), ASRSpec("vosk")))
+    warnings = suite_warnings(suite)
+    assert len(warnings) == 1
+    assert "vosk" in warnings[0] and "pip install" in warnings[0]
+    description = describe_suite(suite)
+    assert description["target"] == "DS0"
+    assert description["auxiliaries"] == ["DS1", "vosk"]
+    assert description["fingerprints"]["vosk"] == "unavailable"
+    assert description["fingerprints"]["DS0"] not in ("unknown",
+                                                      "unavailable")
+    clean = SuiteSpec(target=ASRSpec("DS0"), auxiliaries=(ASRSpec("DS1"),))
+    assert suite_warnings(clean) == []
+
+
+def test_asr_fingerprint_dispatch():
+    assert asr_fingerprint("vosk") == "unavailable"
+    assert asr_fingerprint("DS0") == asr_fingerprint("DS0")
+    assert asr_fingerprint("DS0") != asr_fingerprint("DS1")
+    assert asr_fingerprint("sim-02") == family_fingerprint("sim-02")
+    assert asr_fingerprint("sim-02") != asr_fingerprint("sim-03")
+    assert asr_fingerprint("no-such-system") == "unknown"
+
+
+# ------------------------------------------------------- registry lifecycle
+def test_register_unregister_lazy_backend():
+    register_backend("test-lazy", lambda: None,
+                     requires=("definitely_not_installed_module_xyz",),
+                     install_hint="pip install xyz")
+    try:
+        assert "test-lazy" in backend_names()
+        assert asr_name_resolvable("test-lazy")
+        with pytest.raises(BackendUnavailableError, match="pip install xyz"):
+            build_asr("test-lazy")
+    finally:
+        unregister_backend("test-lazy")
+    assert "test-lazy" not in backend_names()
+    assert not asr_name_resolvable("test-lazy")
+    with pytest.raises(UnknownComponentError):
+        build_asr("test-lazy")
+
+
+def test_backend_shadowing_builtin_restores_on_unregister():
+    register_backend("KAL", lambda: None,
+                     requires=("definitely_not_installed_module_xyz",))
+    try:
+        with pytest.raises(BackendUnavailableError):
+            build_asr("KAL")
+    finally:
+        unregister_backend("KAL")
+    # The built-in factory is restored, not a hole.
+    assert build_asr("KAL").short_name == "KAL"
+
+
+def test_registered_adapter_builds_when_deps_present(monkeypatch):
+    monkeypatch.setitem(sys.modules, "torch",
+                        _fake_torch(_logits_for("yes")))
+    try:
+        adapter = build_asr("wav2vec2-torch")
+        assert isinstance(adapter, BackendAdapter)
+        assert adapter.short_name == "wav2vec2-torch"
+    finally:
+        # Drop the instance cached while the fake module was injected.
+        unregister_asr("wav2vec2-torch")
+        from repro import backends as _backends  # re-register the guard
+        _backends.register_backend(
+            "wav2vec2-torch", TorchWav2Vec2Backend,
+            requires=TorchWav2Vec2Backend.requires,
+            description="torchscript wav2vec2-style CTC model "
+                        "(torch.jit.load)")
+
+
+# ----------------------------------------------------------------- families
+def test_family_determinism_and_prefix_stability():
+    eight = simulated_family(8)
+    assert simulated_family(8) == eight
+    assert simulated_family(4) == eight[:4]
+    assert simulated_family(16)[:8] == eight
+    assert family_member_config(5) == eight[5]
+    # A different seed is a different family.
+    assert simulated_family(8, seed=1) != eight
+
+
+def test_family_pairwise_diversity():
+    members = simulated_family(16)
+    assert len({m.short_name for m in members}) == 16
+    assert len({m.seed for m in members}) == 16
+    # Geometry is pairwise distinct -> distinct front-end cache tags.
+    assert len({(m.frontend, m.frame_length, m.hop_length)
+                for m in members}) == 16
+    assert {m.frontend for m in members} == {"mfcc", "logmel", "lpc"}
+    assert {m.decode_style for m in members} == {"greedy", "smoothed",
+                                                 "viterbi"}
+    assert len({m.lexicon_fraction for m in members}) > 1
+    assert len({m.lm_k for m in members}) > 1
+
+
+def test_family_names_and_fingerprints():
+    assert family_suite_names(3) == ("sim-00", "sim-01", "sim-02")
+    assert family_fingerprint("sim-01") == family_fingerprint("sim-01")
+    assert family_fingerprint("sim-01") != family_fingerprint("sim-02")
+    with pytest.raises(ValueError, match="not a family member"):
+        family_fingerprint("DS0")
+
+
+def test_family_member_builds_and_transcribes(benign_waveform):
+    first = build_asr("sim-00")
+    second = build_asr("sim-01")
+    assert first.short_name == "sim-00"
+    assert first.name != second.name
+    tag_first = first.feature_extractor.cache_tag
+    tag_second = second.feature_extractor.cache_tag
+    assert tag_first != tag_second
+    result = first.transcribe(benign_waveform)
+    assert isinstance(result.text, str)
+    # Deterministic: same member, same audio, same transcription.
+    assert first.transcribe(benign_waveform).text == result.text
+
+
+def test_family_name_resolvable_in_specs():
+    assert asr_name_resolvable("sim-07")
+    suite = SuiteSpec(target=ASRSpec("DS0"),
+                      auxiliaries=tuple(ASRSpec(name)
+                                        for name in family_suite_names(4)))
+    assert suite.problems() == []
+    assert not asr_name_resolvable("sim-")
+    assert not asr_name_resolvable("sim-x1")
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_backends_listing(capsys):
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    for name in backend_names():
+        assert name in out
+    assert "pip install repro[backends]" in out
+    assert "sim-00" in out
+
+
+def test_cli_backends_json(capsys):
+    assert main(["backends", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = [entry["name"] for entry in payload["backends"]]
+    assert names == sorted(names)
+    for entry in payload["backends"]:
+        assert set(entry) >= {"name", "available", "missing",
+                              "install_hint", "fingerprint"}
+
+
+def test_cli_config_validate_warns_on_absent_backend(tmp_path, capsys):
+    config = tmp_path / "backend-suite.json"
+    config.write_text(json.dumps({
+        "suite": {"target": "DS0", "auxiliaries": ["DS1", "vosk"]}}))
+    assert main(["config", "validate", str(config)]) == 0
+    out = capsys.readouterr().out
+    assert f"ok   {config}" in out
+    assert "warn" in out and "pip install repro[backends]" in out

@@ -48,9 +48,9 @@ def run_file_snippets(path: str) -> int:
     return len(blocks)
 
 
-@pytest.mark.parametrize("relative", ["docs/API.md", "docs/CONFIG.md",
-                                      "docs/FEATURES.md", "docs/SERVING.md",
-                                      "README.md"])
+@pytest.mark.parametrize("relative", ["docs/API.md", "docs/BACKENDS.md",
+                                      "docs/CONFIG.md", "docs/FEATURES.md",
+                                      "docs/SERVING.md", "README.md"])
 def test_documented_snippets_run(relative):
     assert run_file_snippets(os.path.join(REPO_ROOT, relative)) >= 2
 

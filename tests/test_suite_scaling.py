@@ -1,0 +1,72 @@
+"""Tests for the suite-scaling experiment (PR 10).
+
+Covers the config-expressible suite construction, the sharded +
+resumable ``repro run suite_scaling`` path (exit 3 on budget, resume to
+completion), and the manifest attribution record (per-shard suite
+composition and version fingerprints).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.suite_scaling import suite_for
+from repro.specs import ASRSpec
+
+
+def test_suite_for_compositions():
+    family = suite_for("family", 4)
+    assert family.target == ASRSpec("DS0")
+    assert [aux.name for aux in family.auxiliaries] == [
+        "sim-00", "sim-01", "sim-02", "sim-03"]
+    mixed = suite_for("paper+family", 5)
+    assert [aux.name for aux in mixed.auxiliaries] == [
+        "DS1", "GCS", "AT", "sim-00", "sim-01"]
+    small = suite_for("paper+family", 2)
+    assert [aux.name for aux in small.auxiliaries] == ["DS1", "GCS"]
+    assert family.problems() == []
+    assert mixed.problems() == []
+    with pytest.raises(ValueError, match="unknown composition"):
+        suite_for("bogus", 2)
+    with pytest.raises(ValueError, match="at least 1"):
+        suite_for("family", 0)
+
+
+def test_cli_run_suite_scaling_resumes_with_manifest(tmp_path, tiny_bundle,
+                                                     capsys):
+    run_dir = str(tmp_path / "run")
+    args = ["run", "suite_scaling", "--scale", "tiny", "--run-dir", run_dir,
+            "--workers", "0", "--param", "sizes=[2,3]"]
+    # Budgeted run stops incomplete with exit code 3...
+    assert main([*args, "--max-shards", "1"]) == 3
+    assert "incomplete" in capsys.readouterr().out
+    with open(os.path.join(run_dir, "manifest.json"),
+              encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    assert manifest["status"] == "incomplete"
+    # ...and already records which exact suites the run measures.
+    assert manifest["suites"]["family-n02"]["auxiliaries"] == [
+        "sim-00", "sim-01"]
+    assert "fingerprints" in manifest["suites"]["family-n03"]
+    # Resuming the same command finishes without re-running the shard.
+    assert main([*args, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["resumed_units"] == 1
+    assert [row["suite_size"] for row in payload["rows"]] == [2, 3]
+    for row in payload["rows"]:
+        assert 0.0 <= row["accuracy"] <= 1.0
+        assert row["per_clip_seconds"] > 0
+        assert row["composition"] == "family"
+    with open(os.path.join(run_dir, "manifest.json"),
+              encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    assert manifest["status"] == "complete"
+    assert manifest["suite"]["target"] == "DS0"
+    fingerprints = manifest["suites"]["family-n02"]["fingerprints"]
+    assert set(fingerprints) == {"DS0", "sim-00", "sim-01"}
+    assert all(fp not in ("unknown", "unavailable")
+               for fp in fingerprints.values())
